@@ -1,0 +1,72 @@
+//! Anomaly scoring over distance series (§6.2).
+//!
+//! A transition is anomalous when its distance spikes relative to both
+//! neighbors: `S_t = (d_t − d_{t−1}) + (d_t − d_{t+1})`. Boundary
+//! transitions score zero — a spike cannot be confirmed with only one
+//! neighbor (the paper likewise leaves the last quarter unmarked).
+
+/// Anomaly scores per transition. Input is the processed distance series
+/// (one value per adjacent state pair); output has the same length, with
+/// zero scores at both boundaries.
+pub fn anomaly_scores(distances: &[f64]) -> Vec<f64> {
+    let n = distances.len();
+    (0..n)
+        .map(|t| {
+            if t == 0 || t + 1 == n {
+                return 0.0;
+            }
+            (distances[t] - distances[t - 1]) + (distances[t] - distances[t + 1])
+        })
+        .collect()
+}
+
+/// Indices of the `k` highest-scoring transitions, in decreasing score
+/// order (stable on ties by index).
+pub fn top_k_anomalies(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spike_scores_highest() {
+        let d = [0.2, 0.2, 1.0, 0.2, 0.2];
+        let s = anomaly_scores(&d);
+        let top = top_k_anomalies(&s, 1);
+        assert_eq!(top, vec![2]);
+        assert!((s[2] - 1.6).abs() < 1e-12);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[4], 0.0);
+    }
+
+    #[test]
+    fn flat_series_has_zero_scores() {
+        let s = anomaly_scores(&[0.5; 6]);
+        assert!(s.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn boundary_transitions_score_zero() {
+        let s = anomaly_scores(&[1.0, 0.5, 0.0]);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s[2], 0.0);
+    }
+
+    #[test]
+    fn top_k_is_ordered_and_bounded() {
+        let s = [0.1, 0.9, 0.5, 0.9];
+        let top = top_k_anomalies(&s, 3);
+        assert_eq!(top, vec![1, 3, 2]);
+        assert_eq!(top_k_anomalies(&s, 10).len(), 4);
+    }
+}

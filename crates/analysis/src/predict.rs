@@ -1,0 +1,211 @@
+//! Distance-based opinion prediction (§6.3).
+//!
+//! Given recent complete states `G_{−T} … G_{−1}` and an incomplete current
+//! state `G_0` (a set of target users with unknown opinions), the predictor
+//!
+//! 1. extrapolates the adjacent-state distance series to an estimate `d*`
+//!    of `dist(G_{−1}, G_0)`;
+//! 2. draws random opinion assignments for the target users;
+//! 3. keeps the assignment whose completed state sits closest to `d*`.
+//!
+//! The same harness drives every distance measure; SND uses
+//! [`crate::SndDistance`] / `OrderedSnd` so candidate evaluations share SSSP
+//! rows.
+
+use rand::Rng;
+use snd_graph::NodeId;
+use snd_models::dynamics::random_opinion;
+use snd_models::{NetworkState, Opinion};
+
+/// Linear extrapolation of the next value of a series (least squares over
+/// all points; with two points this is `2·d₂ − d₁`). Series must be
+/// non-empty; a single point extrapolates to itself.
+pub fn extrapolate_linear(series: &[f64]) -> f64 {
+    let n = series.len();
+    assert!(n > 0, "cannot extrapolate an empty series");
+    if n == 1 {
+        return series[0];
+    }
+    // Least-squares line over (0, y₀) … (n−1, y_{n−1}), evaluated at x = n.
+    let xs_mean = (n as f64 - 1.0) / 2.0;
+    let ys_mean = series.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in series.iter().enumerate() {
+        let dx = i as f64 - xs_mean;
+        num += dx * (y - ys_mean);
+        den += dx * dx;
+    }
+    let slope = if den == 0.0 { 0.0 } else { num / den };
+    ys_mean + slope * (n as f64 - xs_mean)
+}
+
+/// Selects `count` active users of `truth` uniformly at random with an
+/// approximately equal number of positive and negative users (the paper's
+/// target-selection protocol).
+pub fn select_targets<R: Rng>(truth: &NetworkState, count: usize, rng: &mut R) -> Vec<NodeId> {
+    let mut pos = truth.users_with(Opinion::Positive);
+    let mut neg = truth.users_with(Opinion::Negative);
+    shuffle(&mut pos, rng);
+    shuffle(&mut neg, rng);
+    let half = count / 2;
+    let take_pos = half.min(pos.len());
+    let take_neg = (count - take_pos).min(neg.len());
+    let mut targets: Vec<NodeId> = pos[..take_pos].to_vec();
+    targets.extend_from_slice(&neg[..take_neg]);
+    // Top up from whichever side has leftovers if one side ran short.
+    let mut extra: Vec<NodeId> = pos[take_pos..]
+        .iter()
+        .chain(neg[take_neg..].iter())
+        .copied()
+        .collect();
+    shuffle(&mut extra, rng);
+    targets.extend(extra.into_iter().take(count.saturating_sub(targets.len())));
+    targets
+}
+
+fn shuffle<T, R: Rng>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Runs the randomized assignment search: evaluates `candidates` random
+/// opinion assignments for `targets` on top of `known` (the current state
+/// with target opinions blanked) and returns the assignment whose distance
+/// — computed by `eval` against the most recent complete state — is closest
+/// to the extrapolated `d_star`.
+pub fn distance_based_prediction<F, R>(
+    mut eval: F,
+    d_star: f64,
+    known: &NetworkState,
+    targets: &[NodeId],
+    candidates: usize,
+    rng: &mut R,
+) -> Vec<Opinion>
+where
+    F: FnMut(&NetworkState) -> f64,
+    R: Rng,
+{
+    assert!(candidates > 0, "need at least one candidate");
+    let mut best: Option<(f64, Vec<Opinion>)> = None;
+    let mut candidate_state = known.clone();
+    for _ in 0..candidates {
+        let assignment: Vec<Opinion> = targets.iter().map(|_| random_opinion(rng)).collect();
+        for (&t, &op) in targets.iter().zip(&assignment) {
+            candidate_state.set(t, op);
+        }
+        let d = eval(&candidate_state);
+        let gap = (d - d_star).abs();
+        if best.as_ref().is_none_or(|(g, _)| gap < *g) {
+            best = Some((gap, assignment));
+        }
+    }
+    best.expect("candidates > 0").1
+}
+
+/// Fraction of targets predicted correctly against the true state.
+pub fn accuracy(predicted: &[Opinion], truth: &NetworkState, targets: &[NodeId]) -> f64 {
+    assert_eq!(predicted.len(), targets.len(), "one prediction per target");
+    if targets.is_empty() {
+        return 1.0;
+    }
+    let hits = targets
+        .iter()
+        .zip(predicted)
+        .filter(|(&t, &p)| truth.opinion(t) == p)
+        .count();
+    hits as f64 / targets.len() as f64
+}
+
+/// Mean / standard deviation summary (sample std, as the paper reports).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SummaryStats {
+    /// Mean of the samples.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single sample).
+    pub std: f64,
+}
+
+impl SummaryStats {
+    /// Summarizes a non-empty sample.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty());
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let std = if samples.len() < 2 {
+            0.0
+        } else {
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        };
+        SummaryStats { mean, std }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_extrapolation_extends_trend() {
+        assert!((extrapolate_linear(&[1.0, 2.0]) - 3.0).abs() < 1e-12);
+        assert!((extrapolate_linear(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((extrapolate_linear(&[0.0, 1.0, 2.0]) - 3.0).abs() < 1e-12);
+        assert!((extrapolate_linear(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_selection_is_balanced() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut vals = vec![0i8; 100];
+        for (i, item) in vals.iter_mut().enumerate().take(40) {
+            *item = if i % 2 == 0 { 1 } else { -1 };
+        }
+        let truth = NetworkState::from_values(&vals);
+        let targets = select_targets(&truth, 20, &mut rng);
+        assert_eq!(targets.len(), 20);
+        let pos = targets
+            .iter()
+            .filter(|&&t| truth.opinion(t) == Opinion::Positive)
+            .count();
+        assert_eq!(pos, 10);
+        // All targets are active users.
+        assert!(targets.iter().all(|&t| truth.opinion(t).is_active()));
+    }
+
+    #[test]
+    fn target_selection_handles_one_sided_states() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let truth = NetworkState::from_values(&[1, 1, 1, 1, 0, 0]);
+        let targets = select_targets(&truth, 4, &mut rng);
+        assert_eq!(targets.len(), 4);
+    }
+
+    #[test]
+    fn prediction_finds_the_planted_assignment() {
+        // Distance oracle: |candidate ∆ from known truth| vs d* = 0 forces
+        // the exact planted assignment to win (with enough candidates).
+        let mut rng = SmallRng::seed_from_u64(6);
+        let truth = NetworkState::from_values(&[1, -1, 1, 0, 0]);
+        let targets = vec![0u32, 1, 2];
+        let mut known = truth.clone();
+        for &t in &targets {
+            known.set(t, Opinion::Neutral);
+        }
+        let eval = |s: &NetworkState| s.diff_count(&truth) as f64;
+        let predicted = distance_based_prediction(eval, 0.0, &known, &targets, 200, &mut rng);
+        assert_eq!(accuracy(&predicted, &truth, &targets), 1.0);
+    }
+
+    #[test]
+    fn summary_stats_match_hand_computation() {
+        let s = SummaryStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        let single = SummaryStats::from_samples(&[4.2]);
+        assert_eq!(single.std, 0.0);
+    }
+}

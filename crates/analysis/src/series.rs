@@ -1,0 +1,102 @@
+//! Distance-series post-processing.
+//!
+//! The anomaly experiments (§6.2) compare measures after normalizing each
+//! adjacent-state distance by the number of active users and scaling the
+//! series to `[0, 1]`, so measures with different magnitudes can share a
+//! plot and a detector.
+
+use snd_models::NetworkState;
+
+/// Divides each adjacent-state distance by the number of users active at
+/// the transition's later state. `distances.len()` must be
+/// `states.len() − 1`.
+pub fn normalize_by_activity(distances: &[f64], states: &[NetworkState]) -> Vec<f64> {
+    assert_eq!(
+        distances.len() + 1,
+        states.len(),
+        "one distance per adjacent state pair"
+    );
+    distances
+        .iter()
+        .enumerate()
+        .map(|(t, &d)| {
+            let active = states[t + 1].active_count();
+            if active == 0 {
+                d
+            } else {
+                d / active as f64
+            }
+        })
+        .collect()
+}
+
+/// Divides each adjacent-state distance by the number of users whose
+/// opinion changed in that transition — the "cost per opinion change"
+/// normalization. Under it a coordinate-wise measure like Hamming is
+/// constant by construction, while propagation-aware measures spike exactly
+/// when changes become structurally implausible (the Fig. 7 shape).
+pub fn normalize_by_change(distances: &[f64], states: &[NetworkState]) -> Vec<f64> {
+    assert_eq!(
+        distances.len() + 1,
+        states.len(),
+        "one distance per adjacent state pair"
+    );
+    distances
+        .iter()
+        .enumerate()
+        .map(|(t, &d)| {
+            let changed = states[t].diff_count(&states[t + 1]);
+            if changed == 0 {
+                d
+            } else {
+                d / changed as f64
+            }
+        })
+        .collect()
+}
+
+/// Scales a series so its maximum is 1 (no-op for all-zero input).
+pub fn scale_to_unit(series: &[f64]) -> Vec<f64> {
+    let max = series.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return series.to_vec();
+    }
+    series.iter().map(|&x| x / max).collect()
+}
+
+/// Computes a full processed series (normalize by per-transition change
+/// count + scale) from raw distances.
+pub fn processed_series(distances: &[f64], states: &[NetworkState]) -> Vec<f64> {
+    scale_to_unit(&normalize_by_change(distances, states))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_divides_by_later_activity() {
+        let states = vec![
+            NetworkState::from_values(&[0, 0, 0, 0]),
+            NetworkState::from_values(&[1, 0, 0, 0]),
+            NetworkState::from_values(&[1, -1, 0, 0]),
+        ];
+        let norm = normalize_by_activity(&[3.0, 4.0], &states);
+        assert_eq!(norm, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_activity_passes_through() {
+        let states = vec![
+            NetworkState::from_values(&[1, 0]),
+            NetworkState::from_values(&[0, 0]),
+        ];
+        assert_eq!(normalize_by_activity(&[5.0], &states), vec![5.0]);
+    }
+
+    #[test]
+    fn scaling_maps_max_to_one() {
+        assert_eq!(scale_to_unit(&[1.0, 4.0, 2.0]), vec![0.25, 1.0, 0.5]);
+        assert_eq!(scale_to_unit(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Adapter implementing the common [`StateDistance`] trait for SND, so the
+//! anomaly/prediction harnesses treat SND and the baselines uniformly.
+
+use snd_baselines::StateDistance;
+use snd_core::SndEngine;
+use snd_models::NetworkState;
+
+/// SND as a [`StateDistance`] (sparse path).
+pub struct SndDistance<'e, 'g> {
+    engine: &'e SndEngine<'g>,
+}
+
+impl<'e, 'g> SndDistance<'e, 'g> {
+    /// Wraps an engine.
+    pub fn new(engine: &'e SndEngine<'g>) -> Self {
+        SndDistance { engine }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &'e SndEngine<'g> {
+        self.engine
+    }
+}
+
+impl StateDistance for SndDistance<'_, '_> {
+    fn distance(&self, a: &NetworkState, b: &NetworkState) -> f64 {
+        self.engine.distance(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "SND"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_core::SndConfig;
+    use snd_graph::generators::path_graph;
+
+    #[test]
+    fn adapter_delegates_to_engine() {
+        let g = path_graph(6);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let dist = SndDistance::new(&engine);
+        let a = NetworkState::from_values(&[1, 0, 0, 0, 0, -1]);
+        let b = NetworkState::from_values(&[0, 1, 0, 0, -1, 0]);
+        assert_eq!(dist.distance(&a, &b), engine.distance(&a, &b));
+        assert_eq!(dist.name(), "SND");
+    }
+}

@@ -1,0 +1,23 @@
+//! Baseline distance measures and opinion predictors that the paper
+//! compares SND against (§6.1, §6.3).
+//!
+//! Distance measures over network states:
+//!
+//! * [`Hamming`] — coordinate-wise disagreement count, representing all
+//!   coordinate-wise measures;
+//! * [`L1`] — `Σ|P_i − Q_i|` on the ±1/0 encoding (§6.4);
+//! * [`QuadForm`] — `sqrt((P−Q)ᵀ L (P−Q))` with the network Laplacian;
+//! * [`WalkDist`] — `(1/n)·‖cnt(P) − cnt(Q)‖₁` where `cnt(P)_i` measures how
+//!   far user `i`'s opinion deviates from her average active in-neighbor.
+//!
+//! Non-distance-based predictors:
+//!
+//! * [`predict::nhood_voting`] — probabilistic vote over active
+//!   in-neighbors;
+//! * [`predict::community_lp`] — label-propagation communities + majority
+//!   opinion per community (Conover et al.-style).
+
+pub mod distances;
+pub mod predict;
+
+pub use distances::{Hamming, L1, QuadForm, StateDistance, WalkDist};

@@ -1,0 +1,126 @@
+//! Non-distance-based opinion predictors (§6.3's `nhood-voting` and
+//! `community-lp`).
+
+use rand::Rng;
+use snd_graph::{label_propagation, Clustering, CsrGraph, NodeId};
+use snd_models::dynamics::random_opinion;
+use snd_models::{NetworkState, Opinion};
+
+/// Predicts each target user's opinion by probabilistic voting over her
+/// active in-neighbors in `known` (targets should be neutral in `known`);
+/// falls back to a uniformly random opinion when no in-neighbor is active.
+pub fn nhood_voting<R: Rng>(
+    g: &CsrGraph,
+    known: &NetworkState,
+    targets: &[NodeId],
+    rng: &mut R,
+) -> Vec<Opinion> {
+    targets
+        .iter()
+        .map(|&t| {
+            snd_models::dynamics::neighborhood_vote(g, known, t, rng)
+                .unwrap_or_else(|| random_opinion(rng))
+        })
+        .collect()
+}
+
+/// Community detection for [`community_lp`]: label propagation over the
+/// network structure, falling back to a balanced BFS partition when label
+/// propagation collapses the graph into one giant community (common on
+/// dense scale-free graphs, where a single-community clustering makes the
+/// majority vote uninformative). Exposed so experiments can reuse one
+/// clustering for many prediction rounds.
+pub fn detect_communities<R: Rng>(g: &CsrGraph, rng: &mut R) -> Clustering {
+    let lp = label_propagation(g, 20, rng);
+    let n = g.node_count();
+    let largest = lp.clusters.iter().map(Vec::len).max().unwrap_or(0);
+    if n > 0 && largest * 10 >= n * 9 {
+        snd_graph::bfs_partition(g, (n / 64).clamp(2, 64))
+    } else {
+        lp
+    }
+}
+
+/// Predicts each target's opinion as the majority opinion of the known
+/// active users in the target's (structural) community, breaking ties and
+/// empty communities randomly — the community-label-propagation method of
+/// Conover et al. adapted to quantified opinions.
+pub fn community_lp<R: Rng>(
+    communities: &Clustering,
+    known: &NetworkState,
+    targets: &[NodeId],
+    rng: &mut R,
+) -> Vec<Opinion> {
+    // Majority per community, counted once.
+    let nc = communities.cluster_count();
+    let mut pos = vec![0u32; nc];
+    let mut neg = vec![0u32; nc];
+    for (u, &op) in known.opinions().iter().enumerate() {
+        let c = communities.labels[u] as usize;
+        match op {
+            Opinion::Positive => pos[c] += 1,
+            Opinion::Negative => neg[c] += 1,
+            Opinion::Neutral => {}
+        }
+    }
+    targets
+        .iter()
+        .map(|&t| {
+            let c = communities.cluster_of(t) as usize;
+            match pos[c].cmp(&neg[c]) {
+                std::cmp::Ordering::Greater => Opinion::Positive,
+                std::cmp::Ordering::Less => Opinion::Negative,
+                std::cmp::Ordering::Equal => random_opinion(rng),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use snd_graph::generators::two_cluster_bridge;
+    use snd_graph::CsrGraph;
+
+    #[test]
+    fn nhood_voting_follows_unanimous_neighbors() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = CsrGraph::from_edges(4, &[(0, 3), (1, 3), (2, 3)]);
+        let known = NetworkState::from_values(&[-1, -1, -1, 0]);
+        let pred = nhood_voting(&g, &known, &[3], &mut rng);
+        assert_eq!(pred, vec![Opinion::Negative]);
+    }
+
+    #[test]
+    fn community_lp_uses_community_majority() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = two_cluster_bridge(25, 0.4, 2, &mut rng);
+        let communities = detect_communities(&g, &mut rng);
+        // Left community mostly +, right mostly −; targets 0 and 30.
+        let mut known = NetworkState::new_neutral(50);
+        for v in 1..20 {
+            known.set(v, Opinion::Positive);
+        }
+        for v in 31..45 {
+            known.set(v, Opinion::Negative);
+        }
+        let pred = community_lp(&communities, &known, &[0, 30], &mut rng);
+        assert_eq!(pred[0], Opinion::Positive);
+        assert_eq!(pred[1], Opinion::Negative);
+    }
+
+    #[test]
+    fn empty_evidence_falls_back_to_random_but_valid() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let known = NetworkState::new_neutral(3);
+        let pred = nhood_voting(&g, &known, &[1, 2], &mut rng);
+        assert_eq!(pred.len(), 2);
+        assert!(pred.iter().all(|o| o.is_active()));
+        let communities = detect_communities(&g, &mut rng);
+        let pred = community_lp(&communities, &known, &[0], &mut rng);
+        assert!(pred[0].is_active());
+    }
+}

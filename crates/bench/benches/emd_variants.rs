@@ -1,0 +1,70 @@
+//! Micro-benchmark: the EMD family on random histograms over a line
+//! metric — classic, ÊMD, EMDα, and EMD\* (the latter also serving as the
+//! bank-allocation ablation: 1 vs 4 vs 16 clusters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use snd_emd::{emd, emd_alpha, emd_hat, emd_star, DenseCost, Histogram, Solver, StarGeometry};
+
+fn line_metric(n: usize) -> DenseCost {
+    let mut d = DenseCost::filled(n, n, 0);
+    for i in 0..n {
+        for j in 0..n {
+            *d.at_mut(i, j) = (i as i64 - j as i64).unsigned_abs() as u32;
+        }
+    }
+    d
+}
+
+fn line_geometry(n: usize, clusters: usize, gamma: u32) -> StarGeometry {
+    let size = n / clusters;
+    let labels: Vec<u32> = (0..n).map(|i| ((i / size).min(clusters - 1)) as u32).collect();
+    let mut inter = DenseCost::filled(clusters, clusters, 0);
+    for c in 0..clusters {
+        for c2 in 0..clusters {
+            if c != c2 {
+                let gap = c.abs_diff(c2) * size - size + 1;
+                *inter.at_mut(c, c2) = gap as u32;
+            }
+        }
+    }
+    StarGeometry {
+        labels,
+        cluster_count: clusters,
+        gammas: vec![vec![gamma]; clusters],
+        inter_cluster: inter,
+    }
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let n = 256;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let d = line_metric(n);
+    let p = Histogram::from_masses((0..n).map(|_| rng.gen_range(0..50)).collect(), 1);
+    let q = Histogram::from_masses((0..n).map(|_| rng.gen_range(0..50)).collect(), 1);
+    let gamma = d.max_entry();
+
+    let mut group = c.benchmark_group("emd_variants");
+    group.bench_function("classic", |b| {
+        b.iter(|| emd(&p, &q, &d, Solver::Simplex))
+    });
+    group.bench_function("hat", |b| {
+        b.iter(|| emd_hat(&p, &q, &d, gamma, Solver::Simplex))
+    });
+    group.bench_function("alpha", |b| {
+        b.iter(|| emd_alpha(&p, &q, &d, gamma, Solver::Simplex))
+    });
+    for &clusters in &[1usize, 4, 16] {
+        let geom = line_geometry(n, clusters, gamma);
+        group.bench_with_input(
+            BenchmarkId::new("star", clusters),
+            &clusters,
+            |b, _| b.iter(|| emd_star(&p, &q, &d, &geom, Solver::Simplex)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

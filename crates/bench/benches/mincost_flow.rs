@@ -1,0 +1,47 @@
+//! Micro-benchmark: the three exact transportation solvers on random
+//! balanced instances (the reduced problems SND produces).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use snd_transport::{solve_balanced, DenseCost, Solver};
+
+fn instance(size: usize, seed: u64) -> (Vec<u64>, Vec<u64>, DenseCost) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cost = DenseCost::random(size, size, 1..5000, &mut rng);
+    let mut supplies: Vec<u64> = (0..size).map(|_| rng.gen_range(1..100)).collect();
+    let mut demands: Vec<u64> = (0..size).map(|_| rng.gen_range(1..100)).collect();
+    let (ts, td): (u64, u64) = (supplies.iter().sum(), demands.iter().sum());
+    if ts > td {
+        demands[size - 1] += ts - td;
+    } else {
+        supplies[size - 1] += td - ts;
+    }
+    (supplies, demands, cost)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mincost_flow");
+    for &size in &[50usize, 150, 400] {
+        let (s, d, cost) = instance(size, size as u64);
+        for (name, solver) in [
+            ("simplex", Solver::Simplex),
+            ("ssp", Solver::Ssp),
+            ("cost_scaling", Solver::CostScaling),
+        ] {
+            // SSP and cost-scaling are superlinear; skip the biggest size.
+            if size > 150 && solver != Solver::Simplex {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(name, size),
+                &size,
+                |b, _| b.iter(|| solve_balanced(&s, &d, &cost, solver)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion versions of the Fig. 11 / Fig. 12 scalability measurements:
+//! sparse SND vs the dense reference across `n`, and sparse SND across
+//! `n∆`. Also the geometry-cost ablation (cluster count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use snd_core::{ClusterSpec, SndConfig, SndEngine};
+use snd_graph::generators::scale_free_configuration;
+use snd_graph::CsrGraph;
+use snd_models::dynamics::seed_initial_adopters;
+use snd_models::{NetworkState, Opinion};
+
+fn states_with_ndelta(n: usize, ndelta: usize, rng: &mut SmallRng) -> (NetworkState, NetworkState) {
+    let a = seed_initial_adopters(n, 2 * ndelta, rng);
+    let mut b = a.clone();
+    let mut changed = 0usize;
+    while changed < ndelta {
+        let u = rng.gen_range(0..n as u32);
+        if b.opinion(u) == a.opinion(u) {
+            let new = match a.opinion(u) {
+                Opinion::Neutral => Opinion::Positive,
+                other => other.opposite(),
+            };
+            b.set(u, new);
+            changed += 1;
+        }
+    }
+    (a, b)
+}
+
+fn graph_of(n: usize) -> (CsrGraph, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(n as u64);
+    let g = scale_free_configuration(n, -2.3, 2, (n / 50).clamp(8, 500), &mut rng);
+    (g, rng)
+}
+
+/// Fig. 11 shape: sparse vs dense across n at fixed n∆.
+fn bench_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_scaling_n");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for &n in &[1_000usize, 2_000, 4_000] {
+        let (g, mut rng) = graph_of(n);
+        let (a, b) = states_with_ndelta(n, 200, &mut rng);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        group.bench_with_input(BenchmarkId::new("sparse", n), &n, |bench, _| {
+            bench.iter(|| engine.distance(&a, &b))
+        });
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("dense", n), &n, |bench, _| {
+                bench.iter(|| engine.distance_dense(&a, &b))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 12 shape: sparse across n∆ at fixed n.
+fn bench_scaling_ndelta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_scaling_ndelta");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    let n = 8_000;
+    let (g, mut rng) = graph_of(n);
+    let engine = SndEngine::new(&g, SndConfig::default());
+    for &nd in &[100usize, 400, 800] {
+        let (a, b) = states_with_ndelta(n, nd, &mut rng);
+        group.bench_with_input(BenchmarkId::new("sparse", nd), &nd, |bench, _| {
+            bench.iter(|| engine.distance(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: bank-cluster count trades geometry cost vs penalty resolution.
+fn bench_cluster_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cluster_count");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    let n = 4_000;
+    let (g, mut rng) = graph_of(n);
+    let (a, b) = states_with_ndelta(n, 200, &mut rng);
+    for &clusters in &[1usize, 16, 64] {
+        let config = SndConfig {
+            clusters: ClusterSpec::BfsPartition { clusters },
+            ..Default::default()
+        };
+        let engine = SndEngine::new(&g, config);
+        group.bench_with_input(
+            BenchmarkId::new("clusters", clusters),
+            &clusters,
+            |bench, _| bench.iter(|| engine.distance(&a, &b)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_n, bench_scaling_ndelta, bench_cluster_count);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Shared helpers for the experiment binaries; see `src/bin/` for the
+//! per-figure regenerators and `benches/` for criterion micro-benchmarks.
+pub mod harness;

@@ -1,0 +1,184 @@
+//! CLI subcommand implementations.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use snd_analysis::series::processed_series;
+use snd_analysis::{
+    accuracy, anomaly_scores, distance_based_prediction, extrapolate_linear, select_targets,
+    top_k_anomalies,
+};
+use snd_baselines::{Hamming, QuadForm, StateDistance, WalkDist};
+use snd_core::{OrderedSnd, SndConfig, SndEngine};
+use snd_data::{generate_series, simulate_twitter, SyntheticSeriesConfig, TwitterSimConfig};
+use snd_models::dynamics::VotingConfig;
+use snd_models::{NetworkState, Opinion};
+
+use crate::dataset::Dataset;
+
+/// `--flag value` lookup over raw arguments.
+fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// `snd generate`: writes a synthetic or simulated-Twitter dataset.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let out: String = opt(args, "--out").ok_or("missing --out FILE")?;
+    let seed = opt(args, "--seed").unwrap_or(7u64);
+    let dataset = if flag(args, "--twitter") {
+        let sim = simulate_twitter(&TwitterSimConfig {
+            users: opt(args, "--nodes").unwrap_or(4000),
+            avg_degree: opt(args, "--avg-degree").unwrap_or(50),
+            seed,
+            ..Default::default()
+        });
+        Dataset {
+            nodes: sim.graph.node_count(),
+            edges: sim.graph.edges().collect(),
+            states: sim.states.iter().map(|s| s.values()).collect(),
+            labels: sim.labels,
+        }
+    } else {
+        let steps = opt(args, "--steps").unwrap_or(20usize);
+        let series = generate_series(&SyntheticSeriesConfig {
+            nodes: opt(args, "--nodes").unwrap_or(2000),
+            steps,
+            initial_adopters: opt(args, "--seeds").unwrap_or(100),
+            normal: VotingConfig::new(0.12, 0.01),
+            anomalous: VotingConfig::new(0.08, 0.05),
+            anomalous_steps: vec![steps / 3, (2 * steps) / 3],
+            seed,
+            ..Default::default()
+        });
+        Dataset {
+            nodes: series.graph.node_count(),
+            edges: series.graph.edges().collect(),
+            states: series.states.iter().map(|s| s.values()).collect(),
+            labels: series.labels,
+        }
+    };
+    dataset.save(&out)?;
+    println!(
+        "wrote {}: {} users, {} edges, {} states",
+        out,
+        dataset.nodes,
+        dataset.edges.len(),
+        dataset.states.len()
+    );
+    Ok(())
+}
+
+/// `snd distance`: all measures between two states of a dataset.
+pub fn distance(args: &[String]) -> Result<(), String> {
+    let path: String = opt(args, "--data").ok_or("missing --data FILE")?;
+    let t1 = opt(args, "--t1").unwrap_or(0usize);
+    let t2 = opt(args, "--t2").unwrap_or(1usize);
+    let dataset = Dataset::load(&path)?;
+    let graph = dataset.graph();
+    let states = dataset.network_states();
+    let a = states.get(t1).ok_or(format!("state {t1} out of range"))?;
+    let b = states.get(t2).ok_or(format!("state {t2} out of range"))?;
+
+    let engine = SndEngine::new(&graph, SndConfig::default());
+    println!("n_delta = {}", a.diff_count(b));
+    println!("SND        = {:.4}", engine.distance(a, b));
+    println!("hamming    = {:.4}", Hamming.distance(a, b));
+    println!("quad-form  = {:.4}", QuadForm::new(&graph).distance(a, b));
+    println!("walk-dist  = {:.4}", WalkDist::new(&graph).distance(a, b));
+    Ok(())
+}
+
+/// `snd anomaly`: score every transition of the dataset's series.
+pub fn anomaly(args: &[String]) -> Result<(), String> {
+    let path: String = opt(args, "--data").ok_or("missing --data FILE")?;
+    let dataset = Dataset::load(&path)?;
+    let graph = dataset.graph();
+    let states = dataset.network_states();
+    if states.len() < 3 {
+        return Err("need at least 3 states".into());
+    }
+    let engine = SndEngine::new(&graph, SndConfig::default());
+    let processed = processed_series(&engine.series_distances(&states), &states);
+    let scores = anomaly_scores(&processed);
+    let k = opt(args, "--top").unwrap_or_else(|| {
+        dataset
+            .labels
+            .iter()
+            .filter(|&&l| l)
+            .count()
+            .max(1)
+    });
+    println!("{:>4} {:>10} {:>10}  label", "t", "SND", "score");
+    for t in 0..processed.len() {
+        let label = dataset.labels.get(t).copied().unwrap_or(false);
+        println!(
+            "{:>4} {:>10.4} {:>10.4}  {}",
+            t,
+            processed[t],
+            scores[t],
+            if label { "anomalous" } else { "" }
+        );
+    }
+    let top = top_k_anomalies(&scores, k);
+    println!("\ntop-{k} flagged transitions: {top:?}");
+    if !dataset.labels.is_empty() {
+        let hits = top
+            .iter()
+            .filter(|&&t| dataset.labels.get(t).copied().unwrap_or(false))
+            .count();
+        println!("matches ground truth: {hits}/{k}");
+    }
+    Ok(())
+}
+
+/// `snd predict`: hide random active users in the final state and recover
+/// their opinions with SND.
+pub fn predict(args: &[String]) -> Result<(), String> {
+    let path: String = opt(args, "--data").ok_or("missing --data FILE")?;
+    let n_targets = opt(args, "--targets").unwrap_or(20usize);
+    let candidates = opt(args, "--candidates").unwrap_or(100usize);
+    let dataset = Dataset::load(&path)?;
+    let graph = dataset.graph();
+    let states = dataset.network_states();
+    let t = states.len() - 1;
+    if t < 3 {
+        return Err("need at least 4 states".into());
+    }
+    let truth: &NetworkState = &states[t];
+    let mut rng = SmallRng::seed_from_u64(opt(args, "--seed").unwrap_or(5u64));
+    let targets = select_targets(truth, n_targets, &mut rng);
+    let mut known = truth.clone();
+    for &u in &targets {
+        known.set(u, Opinion::Neutral);
+    }
+
+    let engine = SndEngine::new(&graph, SndConfig::default());
+    let d1 = OrderedSnd::new(&engine, states[t - 3].clone()).distance_to(&states[t - 2]);
+    let d2 = OrderedSnd::new(&engine, states[t - 2].clone()).distance_to(&states[t - 1]);
+    let d_star = extrapolate_linear(&[d1, d2]);
+    println!("history: {d1:.2}, {d2:.2} -> d* = {d_star:.2}");
+
+    let anchored = OrderedSnd::new(&engine, states[t - 1].clone());
+    let predicted = distance_based_prediction(
+        |c| anchored.distance_to(c),
+        d_star,
+        &known,
+        &targets,
+        candidates,
+        &mut rng,
+    );
+    let acc = accuracy(&predicted, truth, &targets);
+    println!(
+        "predicted {} targets with {:.1}% accuracy ({} candidates)",
+        targets.len(),
+        100.0 * acc,
+        candidates
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! On-disk dataset format: a network plus a series of states, as JSON.
+
+use serde::{Deserialize, Serialize};
+use snd_graph::CsrGraph;
+use snd_models::NetworkState;
+
+/// Serialized dataset: a graph, a state series, and optional anomaly
+/// labels.
+#[derive(Serialize, Deserialize)]
+pub struct Dataset {
+    /// Number of users.
+    pub nodes: usize,
+    /// Directed edges (ties).
+    pub edges: Vec<(u32, u32)>,
+    /// Opinion series in ±1/0 encoding, one vector per state.
+    pub states: Vec<Vec<i8>>,
+    /// Per-transition anomaly labels (may be empty).
+    #[serde(default)]
+    pub labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Builds the in-memory graph.
+    pub fn graph(&self) -> CsrGraph {
+        CsrGraph::from_edges(self.nodes, &self.edges)
+    }
+
+    /// Builds the in-memory state series.
+    pub fn network_states(&self) -> Vec<NetworkState> {
+        self.states
+            .iter()
+            .map(|v| NetworkState::from_values(v))
+            .collect()
+    }
+
+    /// Reads a dataset from a JSON file.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+    }
+
+    /// Writes the dataset to a JSON file.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        let text = serde_json::to_string(self).map_err(|e| e.to_string())?;
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+    }
+}

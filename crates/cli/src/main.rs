@@ -1,0 +1,54 @@
+//! `snd` — command-line interface to the Social Network Distance library.
+//!
+//! ```text
+//! snd generate --nodes 2000 --steps 20 --out data.json   # synthetic series
+//! snd generate --twitter --out data.json                 # simulated Twitter
+//! snd distance --data data.json --t1 0 --t2 1            # all measures
+//! snd anomaly --data data.json                           # score the series
+//! snd predict --data data.json                           # hide & recover opinions
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+mod dataset;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "generate" => commands::generate(rest),
+        "distance" => commands::distance(rest),
+        "anomaly" => commands::anomaly(rest),
+        "predict" => commands::predict(rest),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "snd — Social Network Distance (ICDE 2017 reproduction)\n\
+         \n\
+         USAGE:\n\
+         \u{20}  snd generate [--nodes N] [--steps S] [--twitter] [--seed K] --out FILE\n\
+         \u{20}  snd distance --data FILE [--t1 I] [--t2 J]\n\
+         \u{20}  snd anomaly  --data FILE [--top K]\n\
+         \u{20}  snd predict  --data FILE [--targets K] [--candidates C]\n"
+    );
+}

@@ -1,0 +1,268 @@
+//! Per-state ground geometry: edge costs, bank γ distances, inter-cluster
+//! distances.
+//!
+//! Everything EMD\* needs beyond the raw SSSP rows depends only on the
+//! *ground state* (the state whose opinions define propagation costs) and
+//! the opinion being transported, not on the pair of states under
+//! comparison — so it is computed once per `(state, opinion)` and reused
+//! across comparisons ([`crate::SndEngine::series_distances`],
+//! [`crate::OrderedSnd`]).
+
+use snd_graph::{dial, dial_reverse, Clustering, CsrGraph, UNREACHABLE};
+use snd_models::{edge_costs, NetworkState, Opinion};
+use snd_transport::DenseCost;
+
+use crate::config::{GammaPolicy, SndConfig};
+
+/// Opinion-dependent ground geometry for one network state.
+#[derive(Clone, Debug)]
+pub struct GroundGeometry {
+    /// Quantized edge costs (aligned with forward edge ids).
+    pub edge_costs: Vec<u32>,
+    /// Upper bound `U` on edge costs (Assumption 2).
+    pub max_edge_cost: u32,
+    /// Finite sentinel distance for unreachable pairs. Exceeds every real
+    /// path cost, so triangle inequalities survive the substitution.
+    pub unreachable: u32,
+    /// Per-bin bank mode (one bank per bin with constant γ): no cluster
+    /// geometry is required — bank distances come directly from SSSP rows.
+    pub per_bin: bool,
+    /// `gammas[c][b]`: ground distance of bank `b` of cluster `c` (empty in
+    /// per-bin mode).
+    pub gammas: Vec<Vec<u32>>,
+    /// `inter_cluster.at(c, c2) = min_{p∈c, q∈c2} D(p, q)` (zero diagonal;
+    /// empty in per-bin mode).
+    pub inter_cluster: DenseCost,
+}
+
+impl GroundGeometry {
+    /// Clamps a raw SSSP distance into the bounded `u32` cost domain.
+    #[inline]
+    pub fn clamp(&self, d: u64) -> u32 {
+        if d >= self.unreachable as u64 {
+            self.unreachable
+        } else {
+            d as u32
+        }
+    }
+}
+
+/// Computes the geometry for `(state, op)`: one multi-source bounded-cost
+/// SSSP per cluster for the inter-cluster matrix, plus the γ policy's runs.
+pub fn compute_geometry(
+    g: &CsrGraph,
+    clustering: &Clustering,
+    state: &NetworkState,
+    op: Opinion,
+    config: &SndConfig,
+) -> GroundGeometry {
+    let costs = edge_costs(g, state, op, &config.ground);
+    let max_edge_cost = config.ground.max_edge_cost();
+    let n = g.node_count();
+    let unreachable = ((max_edge_cost as u64)
+        .saturating_mul(n as u64)
+        .saturating_add(1))
+    .min(u32::MAX as u64 / 4) as u32;
+
+    if matches!(config.clusters, crate::config::ClusterSpec::PerBin) {
+        assert!(
+            config.per_bin_gamma > 0,
+            "per-bin gamma must be positive (identity of indiscernibles)"
+        );
+        return GroundGeometry {
+            edge_costs: costs,
+            max_edge_cost,
+            unreachable,
+            per_bin: true,
+            gammas: Vec::new(),
+            inter_cluster: DenseCost::filled(0, 0, 0),
+        };
+    }
+
+    let nc = clustering.cluster_count();
+    let mut inter = DenseCost::filled(nc, nc, unreachable);
+    for c in 0..nc {
+        let dist = dial(g, &costs, clustering.members(c as u32), max_edge_cost);
+        let row_min = per_cluster_min(&dist, clustering, unreachable);
+        for (c2, &d) in row_min.iter().enumerate() {
+            *inter.at_mut(c, c2) = d;
+        }
+        *inter.at_mut(c, c) = 0;
+    }
+
+    let base_gammas = compute_base_gammas(g, clustering, &costs, max_edge_cost, unreachable, config);
+    let nb = config.banks_per_cluster.max(1);
+    let gammas = base_gammas
+        .into_iter()
+        .map(|base| {
+            (0..nb)
+                .map(|b| base.saturating_mul(b as u32 + 1).min(unreachable))
+                .collect()
+        })
+        .collect();
+
+    GroundGeometry {
+        edge_costs: costs,
+        max_edge_cost,
+        unreachable,
+        per_bin: false,
+        gammas,
+        inter_cluster: inter,
+    }
+}
+
+/// Reduces a distance array to the minimum per cluster.
+fn per_cluster_min(dist: &[u64], clustering: &Clustering, unreachable: u32) -> Vec<u32> {
+    let mut mins = vec![unreachable; clustering.cluster_count()];
+    for (x, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE {
+            let c = clustering.labels[x] as usize;
+            let clamped = (d.min(unreachable as u64)) as u32;
+            if clamped < mins[c] {
+                mins[c] = clamped;
+            }
+        }
+    }
+    mins
+}
+
+fn compute_base_gammas(
+    g: &CsrGraph,
+    clustering: &Clustering,
+    costs: &[u32],
+    max_edge_cost: u32,
+    unreachable: u32,
+    config: &SndConfig,
+) -> Vec<u32> {
+    match config.gamma {
+        GammaPolicy::Constant(v) => vec![v; clustering.cluster_count()],
+        GammaPolicy::Eccentricity => (0..clustering.cluster_count())
+            .map(|c| {
+                let members = clustering.members(c as u32);
+                let rep = members[0];
+                let fwd = dial(g, costs, &[rep], max_edge_cost);
+                let bwd = dial_reverse(g, costs, &[rep], max_edge_cost);
+                let ecc = |dist: &[u64]| {
+                    members
+                        .iter()
+                        .map(|&m| {
+                            let d = dist[m as usize];
+                            if d == UNREACHABLE {
+                                unreachable as u64
+                            } else {
+                                d.min(unreachable as u64)
+                            }
+                        })
+                        .max()
+                        .unwrap_or(0) as u32
+                };
+                ecc(&fwd).max(ecc(&bwd))
+            })
+            .collect(),
+        GammaPolicy::HalfExactDiameter => (0..clustering.cluster_count())
+            .map(|c| {
+                let members = clustering.members(c as u32);
+                let mut diam = 0u64;
+                for &p in members {
+                    let dist = dial(g, costs, &[p], max_edge_cost);
+                    for &q in members {
+                        let d = dist[q as usize];
+                        let d = if d == UNREACHABLE {
+                            unreachable as u64
+                        } else {
+                            d.min(unreachable as u64)
+                        };
+                        diam = diam.max(d);
+                    }
+                }
+                (diam.div_ceil(2)).min(unreachable as u64) as u32
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_graph::{bfs_partition, generators::path_graph};
+    use snd_models::NetworkState;
+
+    fn setup() -> (CsrGraph, Clustering, SndConfig) {
+        let g = path_graph(8);
+        let clustering = bfs_partition(&g, 2);
+        let config = SndConfig {
+            clusters: crate::config::ClusterSpec::BfsPartition { clusters: 2 },
+            ..Default::default()
+        };
+        (g, clustering, config)
+    }
+
+    #[test]
+    fn inter_cluster_diagonal_is_zero() {
+        let (g, clustering, config) = setup();
+        let state = NetworkState::new_neutral(8);
+        let geom = compute_geometry(&g, &clustering, &state, Opinion::Positive, &config);
+        for c in 0..clustering.cluster_count() {
+            assert_eq!(geom.inter_cluster.at(c, c), 0);
+        }
+    }
+
+    #[test]
+    fn gammas_satisfy_theorem_3_bound() {
+        // HalfExactDiameter and Eccentricity must both be >= half the exact
+        // intra-cluster diameter.
+        let (g, clustering, mut config) = setup();
+        let state = NetworkState::from_values(&[1, 0, 0, -1, 0, 1, 0, 0]);
+        config.gamma = GammaPolicy::HalfExactDiameter;
+        let exact = compute_geometry(&g, &clustering, &state, Opinion::Positive, &config);
+        config.gamma = GammaPolicy::Eccentricity;
+        let ecc = compute_geometry(&g, &clustering, &state, Opinion::Positive, &config);
+        for c in 0..clustering.cluster_count() {
+            // exact gamma is ceil(diam/2); ecc must be at least that.
+            assert!(
+                ecc.gammas[c][0] >= exact.gammas[c][0],
+                "cluster {c}: ecc {} < half-diam {}",
+                ecc.gammas[c][0],
+                exact.gammas[c][0]
+            );
+        }
+    }
+
+    #[test]
+    fn bank_multiples_scale_gamma() {
+        let (g, clustering, mut config) = setup();
+        config.banks_per_cluster = 3;
+        config.gamma = GammaPolicy::Constant(4);
+        let state = NetworkState::new_neutral(8);
+        let geom = compute_geometry(&g, &clustering, &state, Opinion::Negative, &config);
+        for c in 0..clustering.cluster_count() {
+            assert_eq!(geom.gammas[c], vec![4, 8, 12]);
+        }
+    }
+
+    #[test]
+    fn unreachable_sentinel_dominates_paths() {
+        let (g, clustering, config) = setup();
+        let state = NetworkState::new_neutral(8);
+        let geom = compute_geometry(&g, &clustering, &state, Opinion::Positive, &config);
+        // Longest possible path: (n-1) hops at max cost each.
+        let longest = geom.max_edge_cost as u64 * 7;
+        assert!(geom.unreachable as u64 > longest);
+        assert_eq!(geom.clamp(u64::MAX), geom.unreachable);
+        assert_eq!(geom.clamp(5), 5);
+    }
+
+    #[test]
+    fn disconnected_clusters_get_sentinel_distance() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let clustering = Clustering::from_labels(&[0, 0, 1, 1]);
+        let config = SndConfig {
+            clusters: crate::config::ClusterSpec::BfsPartition { clusters: 2 },
+            ..Default::default()
+        };
+        let state = NetworkState::new_neutral(4);
+        let geom = compute_geometry(&g, &clustering, &state, Opinion::Positive, &config);
+        assert_eq!(geom.inter_cluster.at(0, 1), geom.unreachable);
+        assert_eq!(geom.inter_cluster.at(1, 0), geom.unreachable);
+    }
+}

@@ -1,0 +1,251 @@
+//! The SND engine: Eq. 3 over a fixed graph and configuration.
+
+use snd_graph::{bfs_partition, label_propagation, whole_graph_cluster, Clustering, CsrGraph};
+use snd_models::{NetworkState, Opinion};
+
+use crate::banks::{compute_geometry, GroundGeometry};
+use crate::config::{ClusterSpec, SndConfig};
+use crate::{dense, sparse};
+
+/// The four EMD\* terms of Eq. 3.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SndBreakdown {
+    /// `EMD*(G1⁺, G2⁺, D(G1, +))`.
+    pub forward_pos: f64,
+    /// `EMD*(G1⁻, G2⁻, D(G1, −))`.
+    pub forward_neg: f64,
+    /// `EMD*(G2⁺, G1⁺, D(G2, +))`.
+    pub backward_pos: f64,
+    /// `EMD*(G2⁻, G1⁻, D(G2, −))`.
+    pub backward_neg: f64,
+}
+
+impl SndBreakdown {
+    /// `SND = ½ · Σ terms`.
+    pub fn total(&self) -> f64 {
+        0.5 * (self.forward_pos + self.forward_neg + self.backward_pos + self.backward_neg)
+    }
+}
+
+/// SND evaluator over one graph. Construction computes the structural bin
+/// clustering once; every distance call derives the per-state geometry it
+/// needs (or reuses one supplied by the caller).
+pub struct SndEngine<'g> {
+    graph: &'g CsrGraph,
+    config: SndConfig,
+    clustering: Clustering,
+}
+
+impl<'g> SndEngine<'g> {
+    /// Creates an engine, computing the bank clustering per the config.
+    pub fn new(graph: &'g CsrGraph, config: SndConfig) -> Self {
+        let clustering = match &config.clusters {
+            // Per-bin mode never consults the clustering (bank columns come
+            // straight from SSSP rows); keep a trivial one as a placeholder.
+            ClusterSpec::PerBin => whole_graph_cluster(graph.node_count()),
+            ClusterSpec::BfsPartition { clusters } => bfs_partition(graph, *clusters),
+            ClusterSpec::LabelPropagation { max_sweeps, seed } => {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(*seed);
+                label_propagation(graph, *max_sweeps, &mut rng)
+            }
+            ClusterSpec::Explicit(labels) => {
+                assert_eq!(labels.len(), graph.node_count(), "labels per node");
+                Clustering::from_labels(labels)
+            }
+            ClusterSpec::Single => whole_graph_cluster(graph.node_count()),
+        };
+        SndEngine {
+            graph,
+            config,
+            clustering,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        self.graph
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SndConfig {
+        &self.config
+    }
+
+    /// The bank clustering.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Computes the ground geometry for `(state, op)` — reusable across
+    /// comparisons whose ground state is `state`.
+    pub fn geometry(&self, state: &NetworkState, op: Opinion) -> GroundGeometry {
+        compute_geometry(self.graph, &self.clustering, state, op, &self.config)
+    }
+
+    /// SND between two states via the sparse (Theorem 4) path.
+    pub fn distance(&self, a: &NetworkState, b: &NetworkState) -> f64 {
+        self.breakdown(a, b).total()
+    }
+
+    /// The four Eq. 3 terms via the sparse path.
+    pub fn breakdown(&self, a: &NetworkState, b: &NetworkState) -> SndBreakdown {
+        let ga_pos = self.geometry(a, Opinion::Positive);
+        let ga_neg = self.geometry(a, Opinion::Negative);
+        let gb_pos = self.geometry(b, Opinion::Positive);
+        let gb_neg = self.geometry(b, Opinion::Negative);
+        self.breakdown_with_geometry(a, b, [&ga_pos, &ga_neg, &gb_pos, &gb_neg])
+    }
+
+    /// The four Eq. 3 terms given precomputed geometries
+    /// `[D(a,+), D(a,−), D(b,+), D(b,−)]` — the building block for series
+    /// evaluation where adjacent pairs share ground states.
+    pub fn breakdown_with_geometry(
+        &self,
+        a: &NetworkState,
+        b: &NetworkState,
+        geoms: [&GroundGeometry; 4],
+    ) -> SndBreakdown {
+        let term = |geom: &GroundGeometry, p: &NetworkState, q: &NetworkState, op: Opinion| {
+            sparse::emd_star_term(
+                self.graph,
+                &self.clustering,
+                geom,
+                p,
+                q,
+                op,
+                &self.config,
+                None,
+            )
+        };
+        SndBreakdown {
+            forward_pos: term(geoms[0], a, b, Opinion::Positive),
+            forward_neg: term(geoms[1], a, b, Opinion::Negative),
+            backward_pos: term(geoms[2], b, a, Opinion::Positive),
+            backward_neg: term(geoms[3], b, a, Opinion::Negative),
+        }
+    }
+
+    /// SND via the dense reference path (full APSP + full extended LP).
+    /// `O(n²)` memory — intended for validation and the Fig. 11 baseline.
+    pub fn distance_dense(&self, a: &NetworkState, b: &NetworkState) -> f64 {
+        let term = |ground_state: &NetworkState, p: &NetworkState, q: &NetworkState, op| {
+            let geom = self.geometry(ground_state, op);
+            dense::emd_star_term(self.graph, &self.clustering, &geom, p, q, op, &self.config)
+        };
+        0.5 * (term(a, a, b, Opinion::Positive)
+            + term(a, a, b, Opinion::Negative)
+            + term(b, b, a, Opinion::Positive)
+            + term(b, b, a, Opinion::Negative))
+    }
+
+    /// Distances between adjacent states of a series (sparse path), sharing
+    /// geometry between the two pairs each state participates in. Returns
+    /// `states.len() − 1` values.
+    pub fn series_distances(&self, states: &[NetworkState]) -> Vec<f64> {
+        if states.len() < 2 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(states.len() - 1);
+        let mut prev_geoms = (
+            self.geometry(&states[0], Opinion::Positive),
+            self.geometry(&states[0], Opinion::Negative),
+        );
+        for t in 1..states.len() {
+            let cur_geoms = (
+                self.geometry(&states[t], Opinion::Positive),
+                self.geometry(&states[t], Opinion::Negative),
+            );
+            let breakdown = self.breakdown_with_geometry(
+                &states[t - 1],
+                &states[t],
+                [&prev_geoms.0, &prev_geoms.1, &cur_geoms.0, &cur_geoms.1],
+            );
+            out.push(breakdown.total());
+            prev_geoms = cur_geoms;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_graph::generators::{barabasi_albert, path_graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn snd_is_zero_on_identical_states() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = NetworkState::from_values(&[1, 0, -1, 0, 1, 1, 0, -1]);
+        assert_eq!(engine.distance(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn snd_is_symmetric_by_construction() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let a = NetworkState::from_values(&[1, 0, -1, 0, 0, 1, 0, 0]);
+        let b = NetworkState::from_values(&[0, 1, -1, 0, -1, 1, 0, 1]);
+        let ab = engine.distance(&a, &b);
+        let ba = engine.distance(&b, &a);
+        assert!((ab - ba).abs() < 1e-9, "{ab} vs {ba}");
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_small_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = barabasi_albert(24, 2, &mut rng);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        use rand::Rng;
+        for trial in 0..8 {
+            let vals_a: Vec<i8> = (0..24).map(|_| rng.gen_range(-1..=1)).collect();
+            let vals_b: Vec<i8> = (0..24).map(|_| rng.gen_range(-1..=1)).collect();
+            let a = NetworkState::from_values(&vals_a);
+            let b = NetworkState::from_values(&vals_b);
+            let sparse = engine.distance(&a, &b);
+            let dense = engine.distance_dense(&a, &b);
+            assert!(
+                (sparse - dense).abs() < 1e-6,
+                "trial {trial}: sparse {sparse} vs dense {dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn series_matches_pairwise_distances() {
+        let g = path_graph(10);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let states = vec![
+            NetworkState::from_values(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+            NetworkState::from_values(&[1, 1, 0, 0, 0, 0, 0, 0, 0, -1]),
+            NetworkState::from_values(&[1, 1, 0, 0, 1, 0, 0, -1, 0, -1]),
+        ];
+        let series = engine.series_distances(&states);
+        assert_eq!(series.len(), 2);
+        assert!((series[0] - engine.distance(&states[0], &states[1])).abs() < 1e-9);
+        assert!((series[1] - engine.distance(&states[1], &states[2])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opposite_polarity_states_are_far() {
+        // Flipping every active user's opinion should cost much more than
+        // keeping opinions and moving one user.
+        let g = path_graph(10);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let base = NetworkState::from_values(&[1, 1, 0, 0, 0, 0, 0, 0, -1, -1]);
+        let flipped = NetworkState::from_values(&[-1, -1, 0, 0, 0, 0, 0, 0, 1, 1]);
+        let mut shifted = base.clone();
+        shifted.set(1, Opinion::Neutral);
+        shifted.set(2, Opinion::Positive);
+        let d_flip = engine.distance(&base, &flipped);
+        let d_shift = engine.distance(&base, &shifted);
+        assert!(
+            d_flip > 2.0 * d_shift,
+            "flip {d_flip} should dwarf shift {d_shift}"
+        );
+    }
+}

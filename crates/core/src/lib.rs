@@ -1,0 +1,42 @@
+//! Social Network Distance (SND) — the paper's primary contribution.
+//!
+//! SND quantifies the cost of evolving one network state into another under
+//! a model of polar opinion propagation (paper Eq. 3):
+//!
+//! ```text
+//! SND(G1, G2) = ½ · [ EMD*(G1⁺, G2⁺, D(G1, +)) + EMD*(G1⁻, G2⁻, D(G1, −))
+//!                   + EMD*(G2⁺, G1⁺, D(G2, +)) + EMD*(G2⁻, G1⁻, D(G2, −)) ]
+//! ```
+//!
+//! where `Gᵒᵖ` projects a state onto one opinion (unit mass per user holding
+//! `op`) and `D(G, op)` is the shortest-path ground distance over the
+//! opinion-dependent edge costs of `snd-models`.
+//!
+//! Two computation paths are provided and cross-validated:
+//!
+//! * [`SndEngine::distance_dense`] — the reference: all-pairs ground
+//!   distances plus the full extended transportation problem of Eq. 4. This
+//!   plays the role of the paper's "direct computation with a general LP
+//!   solver" baseline (Fig. 11).
+//! * [`SndEngine::distance`] — the Theorem 4 sparse path: Lemma 1/2
+//!   reduction (only the `n∆` users whose opinion differs remain), one
+//!   bounded-cost SSSP (Dial's algorithm) per remaining supplier, bank
+//!   columns from precomputed cluster geometry, and an exact reduced
+//!   transportation solve. Linear in `n` for bounded `n∆` on sparse graphs.
+//!
+//! [`GroundGeometry`] (per state and opinion) carries the edge costs, the
+//! per-cluster bank distances γ, and the inter-cluster distance matrix; it
+//! is reusable across comparisons involving the same state — see
+//! [`SndEngine::series_distances`] and [`OrderedSnd`].
+
+pub mod banks;
+pub mod config;
+pub mod dense;
+pub mod engine;
+pub mod ordered;
+pub mod sparse;
+
+pub use banks::GroundGeometry;
+pub use config::{ClusterSpec, GammaPolicy, SndConfig};
+pub use engine::{SndBreakdown, SndEngine};
+pub use ordered::OrderedSnd;

@@ -1,0 +1,132 @@
+//! Time-ordered SND with row caching, for prediction-style workloads.
+//!
+//! §3 notes that for time-ordered states the ground distance can be defined
+//! from the earlier state alone. [`OrderedSnd`] fixes a *from* state,
+//! precomputes its two geometries, and evaluates
+//!
+//! ```text
+//! ordered(from, to) = EMD*(from⁺, to⁺, D(from, +)) + EMD*(from⁻, to⁻, D(from, −))
+//! ```
+//!
+//! for many candidate `to` states cheaply: the geometry never changes, and
+//! SSSP rows are cached per user, so evaluating a candidate that differs
+//! from a previous one in a handful of users costs only a few extra SSSP
+//! runs plus a small transportation solve. This is what makes the
+//! randomized-search opinion predictor (§6.3) tractable.
+
+use std::cell::RefCell;
+
+use snd_models::{NetworkState, Opinion};
+
+use crate::banks::GroundGeometry;
+use crate::engine::SndEngine;
+use crate::sparse::{emd_star_term, RowCache};
+
+/// Ordered-SND evaluator anchored at a fixed "from" state.
+pub struct OrderedSnd<'e, 'g> {
+    engine: &'e SndEngine<'g>,
+    from: NetworkState,
+    geom_pos: GroundGeometry,
+    geom_neg: GroundGeometry,
+    cache: RefCell<RowCache>,
+}
+
+impl<'e, 'g> OrderedSnd<'e, 'g> {
+    /// Builds the evaluator (computes the two geometries of `from`).
+    pub fn new(engine: &'e SndEngine<'g>, from: NetworkState) -> Self {
+        let geom_pos = engine.geometry(&from, Opinion::Positive);
+        let geom_neg = engine.geometry(&from, Opinion::Negative);
+        OrderedSnd {
+            engine,
+            from,
+            geom_pos,
+            geom_neg,
+            cache: RefCell::new(RowCache::new()),
+        }
+    }
+
+    /// The anchored state.
+    pub fn from_state(&self) -> &NetworkState {
+        &self.from
+    }
+
+    /// Ordered SND from the anchored state to `to`.
+    pub fn distance_to(&self, to: &NetworkState) -> f64 {
+        let mut cache = self.cache.borrow_mut();
+        let pos = emd_star_term(
+            self.engine.graph(),
+            self.engine.clustering(),
+            &self.geom_pos,
+            &self.from,
+            to,
+            Opinion::Positive,
+            self.engine.config(),
+            Some(&mut cache),
+        );
+        let neg = emd_star_term(
+            self.engine.graph(),
+            self.engine.clustering(),
+            &self.geom_neg,
+            &self.from,
+            to,
+            Opinion::Negative,
+            self.engine.config(),
+            Some(&mut cache),
+        );
+        pos + neg
+    }
+
+    /// Number of SSSP rows currently cached.
+    pub fn cached_rows(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SndConfig;
+    use snd_graph::generators::path_graph;
+
+    #[test]
+    fn ordered_distance_is_zero_for_same_state() {
+        let g = path_graph(6);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = NetworkState::from_values(&[1, 0, -1, 0, 1, 0]);
+        let ordered = OrderedSnd::new(&engine, s.clone());
+        assert_eq!(ordered.distance_to(&s), 0.0);
+    }
+
+    #[test]
+    fn candidates_reuse_cached_rows() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let from = NetworkState::from_values(&[1, 1, 0, 0, 0, 0, -1, 0]);
+        let ordered = OrderedSnd::new(&engine, from);
+        let mut to_a = NetworkState::from_values(&[1, 1, 0, 1, 0, 0, -1, 0]);
+        let _ = ordered.distance_to(&to_a);
+        let rows_after_first = ordered.cached_rows();
+        // Same differing users => no new rows.
+        let _ = ordered.distance_to(&to_a);
+        assert_eq!(ordered.cached_rows(), rows_after_first);
+        // One extra differing user => at most a few more rows.
+        to_a.set(4, Opinion::Negative);
+        let _ = ordered.distance_to(&to_a);
+        assert!(ordered.cached_rows() >= rows_after_first);
+    }
+
+    #[test]
+    fn ordered_tracks_full_snd_direction_terms() {
+        // ordered(from, to) must equal the two forward terms of the full
+        // breakdown when geometries agree.
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let a = NetworkState::from_values(&[1, 0, 0, -1, 0, 0, 1, 0]);
+        let b = NetworkState::from_values(&[1, 1, 0, -1, -1, 0, 0, 0]);
+        let ordered = OrderedSnd::new(&engine, a.clone());
+        let got = ordered.distance_to(&b);
+        let breakdown = engine.breakdown(&a, &b);
+        let expected = breakdown.forward_pos + breakdown.forward_neg;
+        assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+    }
+}

@@ -1,0 +1,307 @@
+//! The Theorem 4 sparse path: reduced transportation over `n∆` SSSP rows.
+//!
+//! One EMD\* term `EMD*(P, Q, D(ground_state, op))` is computed as:
+//!
+//! 1. **Lemma 2 + Lemma 1 reduction** — users holding `op` in both states
+//!    cancel; only the symmetric difference (≤ `n∆` users) remains as
+//!    residual suppliers/consumers. Bank capacities are computed from the
+//!    *full* (unreduced) cluster masses of the lighter histogram, exactly as
+//!    in the dense definition.
+//! 2. **Orientation** — banks live on the lighter side. When `P` is heavier
+//!    the reduced problem is solved as-is (rows = residual suppliers,
+//!    forward SSSP); when `Q` is heavier the transpose is solved instead
+//!    (rows = residual consumers, SSSP on reversed edges), so bank bins are
+//!    always columns and the number of SSSP runs is always the residual
+//!    count of the *heavier* side.
+//! 3. **Rows** — one Dial's-algorithm run per row node over the bounded
+//!    integer costs; bank columns come from the precomputed
+//!    [`GroundGeometry`] (`γ + inter-cluster distance`), needing no
+//!    per-comparison SSSP.
+//! 4. **Exact solve** — the reduced problem (balanced by construction) goes
+//!    to the configured transportation solver.
+
+use std::collections::HashMap;
+
+use snd_emd::bank_capacities_from_cluster_masses;
+use snd_graph::{dial, dial_reverse, Clustering, CsrGraph, NodeId};
+use snd_models::{NetworkState, Opinion};
+use snd_transport::{solve_balanced, DenseCost, Mass};
+
+use crate::banks::GroundGeometry;
+use crate::config::SndConfig;
+
+/// Cache of clamped SSSP rows keyed by `(opinion, reversed, node)`; reused
+/// across comparisons that share a ground state (see
+/// [`crate::OrderedSnd`]).
+#[derive(Default, Debug)]
+pub struct RowCache {
+    rows: HashMap<(i8, bool, NodeId), Box<[u32]>>,
+}
+
+impl RowCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        RowCache::default()
+    }
+
+    /// Number of cached rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn get_or_compute(
+        &mut self,
+        g: &CsrGraph,
+        geom: &GroundGeometry,
+        op: Opinion,
+        reverse: bool,
+        node: NodeId,
+    ) -> &[u32] {
+        self.rows
+            .entry((op.value(), reverse, node))
+            .or_insert_with(|| compute_row(g, geom, reverse, node))
+    }
+}
+
+fn compute_row(g: &CsrGraph, geom: &GroundGeometry, reverse: bool, node: NodeId) -> Box<[u32]> {
+    let dist = if reverse {
+        dial_reverse(g, &geom.edge_costs, &[node], geom.max_edge_cost)
+    } else {
+        dial(g, &geom.edge_costs, &[node], geom.max_edge_cost)
+    };
+    dist.into_iter().map(|d| geom.clamp(d)).collect()
+}
+
+/// Computes one EMD\* term `EMD*(Pᵒᵖ, Qᵒᵖ, D(ground, op))` where the ground
+/// geometry was built from the same state/opinion. `cache` (optional) reuses
+/// SSSP rows across calls sharing this geometry.
+pub fn emd_star_term(
+    g: &CsrGraph,
+    clustering: &Clustering,
+    geom: &GroundGeometry,
+    p_state: &NetworkState,
+    q_state: &NetworkState,
+    op: Opinion,
+    config: &SndConfig,
+    mut cache: Option<&mut RowCache>,
+) -> f64 {
+    let n = g.node_count();
+    assert_eq!(p_state.len(), n, "state size mismatch");
+    assert_eq!(q_state.len(), n, "state size mismatch");
+    let scale = config.scale;
+    let nc = clustering.cluster_count();
+    let nb = config.banks_per_cluster.max(1);
+
+    // Classify users; Lemma 2 leaves only the symmetric difference.
+    let mut residual_p: Vec<NodeId> = Vec::new();
+    let mut residual_q: Vec<NodeId> = Vec::new();
+    let mut active_p: Vec<NodeId> = Vec::new();
+    let mut active_q: Vec<NodeId> = Vec::new();
+    let mut cluster_count_p = vec![0u64; nc];
+    let mut cluster_count_q = vec![0u64; nc];
+    for u in 0..n as NodeId {
+        let in_p = p_state.opinion(u) == op;
+        let in_q = q_state.opinion(u) == op;
+        if in_p {
+            active_p.push(u);
+            cluster_count_p[clustering.labels[u as usize] as usize] += 1;
+        }
+        if in_q {
+            active_q.push(u);
+            cluster_count_q[clustering.labels[u as usize] as usize] += 1;
+        }
+        if in_p && !in_q {
+            residual_p.push(u);
+        } else if in_q && !in_p {
+            residual_q.push(u);
+        }
+    }
+    let total_p = active_p.len() as u64 * scale;
+    let total_q = active_q.len() as u64 * scale;
+    if total_p == 0 && total_q == 0 {
+        return 0.0;
+    }
+    let delta = total_p.abs_diff(total_q);
+    let p_is_lighter = total_p < total_q;
+
+    // Bank bins on the lighter side, capacities from the *full* (unreduced)
+    // masses. Per-bin mode: one bank per active bin of the lighter
+    // histogram, each at distance `per_bin_gamma` from its bin; cluster
+    // mode: `nb` banks per cluster at the precomputed γ / inter-cluster
+    // distances.
+    let (bank_bins, bank_caps): (Vec<NodeId>, Vec<Mass>) = if delta == 0 {
+        (Vec::new(), Vec::new())
+    } else if geom.per_bin {
+        let bins = if p_is_lighter { &active_p } else { &active_q };
+        if bins.is_empty() {
+            // The lighter histogram is empty: the capacity rule degenerates
+            // to a uniform spread over every bin (matching the dense-path
+            // `proportional_split` fallback on all-zero weights).
+            let all: Vec<NodeId> = (0..n as NodeId).collect();
+            let caps = snd_emd::proportional_split(delta, &vec![1; n]);
+            (all, caps)
+        } else {
+            let masses = vec![scale; bins.len()];
+            (bins.clone(), snd_emd::proportional_split(delta, &masses))
+        }
+    } else {
+        let lighter_cluster_masses: Vec<Mass> = if p_is_lighter {
+            cluster_count_p.iter().map(|&c| c * scale).collect()
+        } else {
+            cluster_count_q.iter().map(|&c| c * scale).collect()
+        };
+        (
+            Vec::new(),
+            bank_capacities_from_cluster_masses(delta, &lighter_cluster_masses, nb),
+        )
+    };
+
+    // Orientation: banks always end up as columns (rows are the heavier
+    // side's residual bins, one SSSP each — forward when P is heavier,
+    // reversed when Q is).
+    let (row_nodes, col_nodes, reverse) = if !p_is_lighter {
+        (residual_p, residual_q, false)
+    } else {
+        (residual_q, residual_p, true)
+    };
+    if row_nodes.is_empty() {
+        debug_assert!(col_nodes.is_empty() && delta == 0);
+        return 0.0;
+    }
+
+    let n_rows = row_nodes.len();
+    let n_cols = col_nodes.len() + bank_caps.len();
+    let supplies = vec![scale; n_rows];
+    let mut demands: Vec<Mass> = vec![scale; col_nodes.len()];
+    demands.extend_from_slice(&bank_caps);
+    debug_assert_eq!(
+        supplies.iter().sum::<u64>(),
+        demands.iter().sum::<u64>(),
+        "reduced problem must be balanced"
+    );
+
+    // Assemble the reduced cost matrix: one SSSP row per heavy-side node.
+    let mut data = Vec::with_capacity(n_rows * n_cols);
+    let mut local_row; // fallback storage when no cache was provided
+    for &node in &row_nodes {
+        let row: &[u32] = match cache.as_deref_mut() {
+            Some(c) => c.get_or_compute(g, geom, op, reverse, node),
+            None => {
+                local_row = compute_row(g, geom, reverse, node);
+                &local_row
+            }
+        };
+        for &cn in &col_nodes {
+            data.push(row[cn as usize]);
+        }
+        if bank_caps.is_empty() {
+            // Balanced masses: no bank columns at all.
+        } else if geom.per_bin {
+            // Forward: D̃[node, bank(u)] = γ + D(node, u) — read off the
+            // forward row. Transposed: D̃[bank(u), node] = γ + D(u, node) —
+            // read off the reverse row. Either way it is `row[u] + γ`.
+            for &u in &bank_bins {
+                // Matches the dense path's `γ + D(·,·)` exactly, including
+                // `γ + sentinel` for unreachable pairs (saturating).
+                data.push(row[u as usize].saturating_add(config.per_bin_gamma));
+            }
+        } else {
+            let node_cluster = clustering.labels[node as usize] as usize;
+            for c in 0..nc {
+                // Forward: D̃[node, bank(c,b)] = γ_c[b] + d(cluster(node), c).
+                // Transposed: D̃[bank(c,b), node] = γ_c[b] + d(c, cluster(node)).
+                let d_cc = if reverse {
+                    geom.inter_cluster.at(c, node_cluster)
+                } else {
+                    geom.inter_cluster.at(node_cluster, c)
+                };
+                for b in 0..nb {
+                    data.push(geom.gammas[c][b].saturating_add(d_cc));
+                }
+            }
+        }
+    }
+    let cost = DenseCost::from_vec(n_rows, n_cols, data);
+    let plan = solve_balanced(&supplies, &demands, &cost, config.solver);
+    plan.total_cost as f64 / scale as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banks::compute_geometry;
+    use snd_graph::bfs_partition;
+    use snd_graph::generators::path_graph;
+
+    #[test]
+    fn identical_states_have_zero_terms() {
+        let g = path_graph(6);
+        let clustering = bfs_partition(&g, 2);
+        let config = SndConfig::default();
+        let state = NetworkState::from_values(&[1, 0, -1, 0, 1, 0]);
+        for op in [Opinion::Positive, Opinion::Negative] {
+            let geom = compute_geometry(&g, &clustering, &state, op, &config);
+            let v = emd_star_term(&g, &clustering, &geom, &state, &state, op, &config, None);
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn single_new_activation_costs_bank_distance() {
+        // P empty, Q has one + user: the unit must come from a bank.
+        let g = path_graph(4);
+        let clustering = bfs_partition(&g, 1);
+        let mut config = SndConfig {
+            clusters: crate::config::ClusterSpec::BfsPartition { clusters: 1 },
+            ..Default::default()
+        };
+        config.gamma = crate::config::GammaPolicy::Constant(7);
+        let p = NetworkState::new_neutral(4);
+        let mut q = NetworkState::new_neutral(4);
+        q.set(2, Opinion::Positive);
+        let geom = compute_geometry(&g, &clustering, &p, Opinion::Positive, &config);
+        let v = emd_star_term(&g, &clustering, &geom, &p, &q, Opinion::Positive, &config, None);
+        // Bank of the single cluster at γ=7, inter-cluster d = 0.
+        assert!((v - 7.0).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn cache_reuses_rows() {
+        let g = path_graph(6);
+        let clustering = bfs_partition(&g, 2);
+        let config = SndConfig::default();
+        let p = NetworkState::from_values(&[1, 0, 0, 0, 0, 0]);
+        let q = NetworkState::from_values(&[0, 0, 0, 1, 0, 0]);
+        let geom = compute_geometry(&g, &clustering, &p, Opinion::Positive, &config);
+        let mut cache = RowCache::new();
+        let v1 = emd_star_term(
+            &g,
+            &clustering,
+            &geom,
+            &p,
+            &q,
+            Opinion::Positive,
+            &config,
+            Some(&mut cache),
+        );
+        let cached = cache.len();
+        assert!(cached > 0);
+        let v2 = emd_star_term(
+            &g,
+            &clustering,
+            &geom,
+            &p,
+            &q,
+            Opinion::Positive,
+            &config,
+            Some(&mut cache),
+        );
+        assert_eq!(cache.len(), cached, "no new rows on repeat");
+        assert_eq!(v1, v2);
+    }
+}

@@ -1,0 +1,16 @@
+//! Workload generators for the SND experiments.
+//!
+//! * [`synthetic`] — scale-free networks with a probabilistic-voting
+//!   activation process and injected mechanism anomalies (§6.1–§6.2): the
+//!   data behind Figs. 7, 8 and Table 1's synthetic column.
+//! * [`twitter`] — the simulated stand-in for the paper's Twitter dataset
+//!   (10k users, ~130 edges each, 13 quarterly states, May'08–Aug'11) with
+//!   a timeline of consensus and polarized political events; see DESIGN.md
+//!   for the substitution rationale. Data behind Fig. 9 and Table 1's
+//!   real-world column.
+
+pub mod synthetic;
+pub mod twitter;
+
+pub use synthetic::{generate_series, SyntheticSeries, SyntheticSeriesConfig};
+pub use twitter::{simulate_twitter, Event, EventKind, TwitterSim, TwitterSimConfig};

@@ -1,0 +1,82 @@
+//! Classic Earth Mover's Distance (Rubner et al., Eq. 1 of the paper).
+
+use snd_transport::{solve_unbalanced, DenseCost, Solver};
+
+use crate::histogram::Histogram;
+
+/// Classic EMD: the mean per-unit cost of the optimal plan that moves
+/// `min(ΣP, ΣQ)` mass from `P`'s bins to `Q`'s bins over ground distance
+/// `D`. Total-mass mismatch is ignored (the motivation for the extended
+/// variants). Returns 0 when either histogram is empty of mass.
+pub fn emd(p: &Histogram, q: &Histogram, ground: &DenseCost, solver: Solver) -> f64 {
+    assert_eq!(p.len(), ground.rows(), "P bins vs ground rows");
+    assert_eq!(q.len(), ground.cols(), "Q bins vs ground cols");
+    assert_eq!(p.scale(), q.scale(), "histogram scale mismatch");
+    let plan = solve_unbalanced(p.masses(), q.masses(), ground, solver);
+    plan.mean_cost()
+}
+
+/// Raw optimal transportation cost (`Σ f·D`, not normalized) in real mass
+/// units, for callers that need the unnormalized objective.
+pub fn emd_total_cost(p: &Histogram, q: &Histogram, ground: &DenseCost, solver: Solver) -> f64 {
+    assert_eq!(p.scale(), q.scale(), "histogram scale mismatch");
+    let plan = solve_unbalanced(p.masses(), q.masses(), ground, solver);
+    plan.total_cost as f64 / p.scale() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::DEFAULT_SCALE;
+
+    fn line_metric(n: usize) -> DenseCost {
+        let mut d = DenseCost::filled(n, n, 0);
+        for i in 0..n {
+            for j in 0..n {
+                *d.at_mut(i, j) = (i as i64 - j as i64).unsigned_abs() as u32;
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn identical_histograms_have_zero_distance() {
+        let d = line_metric(4);
+        let p = Histogram::from_f64(&[1.0, 2.0, 0.0, 1.0], DEFAULT_SCALE);
+        assert_eq!(emd(&p, &p, &d, Solver::Simplex), 0.0);
+    }
+
+    #[test]
+    fn unit_shift_costs_one() {
+        let d = line_metric(3);
+        let p = Histogram::from_f64(&[1.0, 0.0, 0.0], DEFAULT_SCALE);
+        let q = Histogram::from_f64(&[0.0, 1.0, 0.0], DEFAULT_SCALE);
+        assert!((emd(&p, &q, &d, Solver::Simplex) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_mismatch_is_ignored() {
+        // Heavy P, light Q at the same bin: classic EMD sees no cost.
+        let d = line_metric(2);
+        let p = Histogram::from_f64(&[10.0, 0.0], DEFAULT_SCALE);
+        let q = Histogram::from_f64(&[1.0, 0.0], DEFAULT_SCALE);
+        assert_eq!(emd(&p, &q, &d, Solver::Simplex), 0.0);
+    }
+
+    #[test]
+    fn normalization_is_mean_cost() {
+        let d = line_metric(3);
+        // Two units: one moves distance 2, one distance 0 → mean 1.
+        let p = Histogram::from_f64(&[1.0, 0.0, 1.0], DEFAULT_SCALE);
+        let q = Histogram::from_f64(&[0.0, 0.0, 2.0], DEFAULT_SCALE);
+        assert!((emd(&p, &q, &d, Solver::Simplex) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_cost_in_real_units() {
+        let d = line_metric(3);
+        let p = Histogram::from_f64(&[2.0, 0.0, 0.0], DEFAULT_SCALE);
+        let q = Histogram::from_f64(&[0.0, 2.0, 0.0], DEFAULT_SCALE);
+        assert!((emd_total_cost(&p, &q, &d, Solver::Simplex) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Metric-axiom checkers for distance measures over histogram sets.
+//!
+//! Used by unit and property tests to validate Theorem 1 (classic EMD is
+//! metric on equal-mass histograms over a metric ground distance) and
+//! Theorem 3 (EMD\* is metric when every `γ` is at least half its cluster's
+//! diameter).
+
+use crate::histogram::Histogram;
+
+/// Result of probing the metric axioms on a finite histogram set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricReport {
+    /// Violations of `d(x, x) = 0`.
+    pub identity_failures: usize,
+    /// Violations of `d(x, y) = d(y, x)` beyond tolerance.
+    pub symmetry_failures: usize,
+    /// Violations of `d(x, z) ≤ d(x, y) + d(y, z)` beyond tolerance.
+    pub triangle_failures: usize,
+}
+
+impl MetricReport {
+    /// True when no axiom was violated.
+    pub fn is_metric(&self) -> bool {
+        self.identity_failures == 0 && self.symmetry_failures == 0 && self.triangle_failures == 0
+    }
+}
+
+/// Exhaustively checks the metric axioms for `dist` over `set`.
+///
+/// `tol` absorbs fixed-point rounding; distances are exact rationals, so a
+/// tolerance of `1e-9` relative to typical magnitudes is ample.
+pub fn check_metric_axioms<F>(set: &[Histogram], dist: F, tol: f64) -> MetricReport
+where
+    F: Fn(&Histogram, &Histogram) -> f64,
+{
+    let k = set.len();
+    let mut d = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        for j in 0..k {
+            d[i][j] = dist(&set[i], &set[j]);
+        }
+    }
+    let mut report = MetricReport::default();
+    for i in 0..k {
+        if d[i][i].abs() > tol {
+            report.identity_failures += 1;
+        }
+        for j in 0..k {
+            if (d[i][j] - d[j][i]).abs() > tol {
+                report.symmetry_failures += 1;
+            }
+            for l in 0..k {
+                if d[i][l] > d[i][j] + d[j][l] + tol {
+                    report.triangle_failures += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::emd;
+    use crate::histogram::DEFAULT_SCALE;
+    use crate::star::{emd_star, StarGeometry};
+    use snd_transport::{DenseCost, Solver};
+
+    fn line_metric(n: usize) -> DenseCost {
+        let mut d = DenseCost::filled(n, n, 0);
+        for i in 0..n {
+            for j in 0..n {
+                *d.at_mut(i, j) = (i as i64 - j as i64).unsigned_abs() as u32;
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn classic_emd_metric_on_equal_mass_set() {
+        let d = line_metric(4);
+        // All histograms share total mass 3.0 (Theorem 1 precondition).
+        let set = vec![
+            Histogram::from_f64(&[3.0, 0.0, 0.0, 0.0], DEFAULT_SCALE),
+            Histogram::from_f64(&[0.0, 3.0, 0.0, 0.0], DEFAULT_SCALE),
+            Histogram::from_f64(&[1.0, 1.0, 1.0, 0.0], DEFAULT_SCALE),
+            Histogram::from_f64(&[0.0, 1.5, 0.0, 1.5], DEFAULT_SCALE),
+        ];
+        let report = check_metric_axioms(&set, |p, q| emd(p, q, &d, Solver::Simplex), 1e-9);
+        assert!(report.is_metric(), "{report:?}");
+    }
+
+    #[test]
+    fn emd_star_metric_with_valid_gammas() {
+        let n = 4;
+        let d = line_metric(n);
+        // Single cluster, γ = maxD ≥ ½·diameter — Theorem 3 precondition.
+        let geom = StarGeometry::single_cluster(n, vec![d.max_entry()]);
+        let set = vec![
+            Histogram::from_f64(&[1.0, 0.0, 0.0, 0.0], DEFAULT_SCALE),
+            Histogram::from_f64(&[0.0, 2.0, 0.0, 0.0], DEFAULT_SCALE),
+            Histogram::from_f64(&[1.0, 1.0, 1.0, 1.0], DEFAULT_SCALE),
+            Histogram::from_f64(&[0.0, 0.0, 0.0, 0.5], DEFAULT_SCALE),
+            Histogram::zeros(n, DEFAULT_SCALE),
+        ];
+        let report =
+            check_metric_axioms(&set, |p, q| emd_star(p, q, &d, &geom, Solver::Simplex), 1e-9);
+        assert!(report.is_metric(), "{report:?}");
+    }
+
+    #[test]
+    fn report_detects_violations() {
+        // A deliberately broken "distance".
+        let set = vec![
+            Histogram::from_masses(vec![1], 1),
+            Histogram::from_masses(vec![2], 1),
+        ];
+        let report = check_metric_axioms(
+            &set,
+            |p, q| {
+                if p.mass(0) == q.mass(0) {
+                    1.0 // identity violation
+                } else {
+                    (p.mass(0) as f64) - (q.mass(0) as f64) // asymmetric
+                }
+            },
+            1e-9,
+        );
+        assert!(!report.is_metric());
+        assert!(report.identity_failures > 0);
+        assert!(report.symmetry_failures > 0);
+    }
+}

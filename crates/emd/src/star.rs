@@ -1,0 +1,462 @@
+//! EMD\* — EMD with *local* bank bins per bin cluster (paper §4, Eq. 4).
+//!
+//! EMDα's single global bank makes the mass-mismatch penalty depend only on
+//! the mismatch magnitude. EMD\* instead attaches `Nb` banks to every
+//! *cluster* of bins and splits the mismatch across clusters proportionally
+//! to their mass, so newly appeared mass is penalized according to *where*
+//! it appeared: mass that shows up next to existing mass is cheap, mass that
+//! appears in a far-away empty region is expensive (Fig. 5 of the paper).
+//!
+//! The extended ground distance follows Eq. 4:
+//!
+//! * regular → regular: the original `D`;
+//! * regular bin `i` → bank `b` of cluster `c`: `γ_c[b] + d(cluster(i), c)`;
+//! * bank `b` of `c` → regular `j`: `γ_c[b] + d(c, cluster(j))`;
+//! * bank `(c,b)` → bank `(c',b')`: `γ_c[b] + γ_{c'}[b'] + d(c, c')`, zero on
+//!   the exact diagonal;
+//!
+//! where `d(c, c') = min_{p∈c, q∈c'} D(p, q)` is the inter-cluster distance
+//! and `γ_c[b] ≥ ½·max_{p,q∈c} D(p,q)` is required for metricity
+//! (Theorem 3).
+
+use snd_transport::{solve_balanced, DenseCost, Mass, Solver};
+
+use crate::histogram::Histogram;
+
+/// Bank geometry for EMD\*: cluster assignment of bins, per-cluster bank
+/// ground distances, and the inter-cluster distance matrix.
+#[derive(Clone, Debug)]
+pub struct StarGeometry {
+    /// Cluster id per bin (contiguous ids `0..cluster_count`).
+    pub labels: Vec<u32>,
+    /// Number of clusters.
+    pub cluster_count: usize,
+    /// `gammas[c][b]`: ground distance to/from bank `b` of cluster `c`.
+    pub gammas: Vec<Vec<u32>>,
+    /// `inter_cluster.at(c, c')` = `min_{p∈c, q∈c'} D(p, q)`; zero diagonal.
+    pub inter_cluster: DenseCost,
+}
+
+impl StarGeometry {
+    /// Geometry with a single cluster covering all bins (EMD\* then behaves
+    /// like EMDα with `banks` global banks).
+    pub fn single_cluster(n: usize, gammas: Vec<u32>) -> Self {
+        StarGeometry {
+            labels: vec![0; n],
+            cluster_count: 1,
+            gammas: vec![gammas],
+            inter_cluster: DenseCost::filled(1, 1, 0),
+        }
+    }
+
+    /// Banks per cluster (must be uniform across clusters).
+    pub fn banks_per_cluster(&self) -> usize {
+        let nb = self.gammas.first().map_or(0, Vec::len);
+        debug_assert!(self.gammas.iter().all(|g| g.len() == nb));
+        nb
+    }
+
+    /// Total number of bank bins.
+    pub fn bank_count(&self) -> usize {
+        self.cluster_count * self.banks_per_cluster()
+    }
+
+    /// Flat index of bank `b` of cluster `c` among all banks.
+    #[inline]
+    pub fn bank_index(&self, c: usize, b: usize) -> usize {
+        c * self.banks_per_cluster() + b
+    }
+
+    /// Ground distance from regular bin `i` to bank `(c, b)`:
+    /// `γ_c[b] + d(cluster(i), c)`.
+    ///
+    /// On symmetric ground distances this matches the paper's Eq. 4
+    /// exactly; on directed (semimetric) grounds the two directions use the
+    /// corresponding directed inter-cluster distances.
+    #[inline]
+    pub fn bin_to_bank(&self, i: usize, c: usize, b: usize) -> u32 {
+        let ci = self.labels[i] as usize;
+        self.gammas[c][b].saturating_add(self.inter_cluster.at(ci, c))
+    }
+
+    /// Ground distance from bank `(c, b)` to regular bin `i`:
+    /// `γ_c[b] + d(c, cluster(i))`.
+    #[inline]
+    pub fn bank_to_bin(&self, c: usize, b: usize, i: usize) -> u32 {
+        let ci = self.labels[i] as usize;
+        self.gammas[c][b].saturating_add(self.inter_cluster.at(c, ci))
+    }
+
+    /// Ground distance between banks `(c, b)` and `(c2, b2)`.
+    #[inline]
+    pub fn bank_to_bank(&self, c: usize, b: usize, c2: usize, b2: usize) -> u32 {
+        if c == c2 && b == b2 {
+            0
+        } else {
+            self.gammas[c][b]
+                .saturating_add(self.gammas[c2][b2])
+                .saturating_add(self.inter_cluster.at(c, c2))
+        }
+    }
+
+    /// Checks the Theorem 3 metricity precondition
+    /// `γ_c[b] ≥ ½·max_{p,q∈c} D(p,q)` against an explicit ground distance.
+    pub fn validate(&self, ground: &DenseCost) -> Result<(), String> {
+        if self.labels.len() != ground.rows() || ground.rows() != ground.cols() {
+            return Err("geometry/ground shape mismatch".into());
+        }
+        let mut max_intra = vec![0u32; self.cluster_count];
+        for i in 0..self.labels.len() {
+            for j in 0..self.labels.len() {
+                if self.labels[i] == self.labels[j] {
+                    let c = self.labels[i] as usize;
+                    max_intra[c] = max_intra[c].max(ground.at(i, j));
+                }
+            }
+        }
+        for (c, gammas) in self.gammas.iter().enumerate() {
+            for (b, &g) in gammas.iter().enumerate() {
+                if (g as u64) * 2 < max_intra[c] as u64 {
+                    return Err(format!(
+                        "gamma[{c}][{b}] = {g} below half intra-cluster diameter {}",
+                        max_intra[c]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Bank capacities for one comparison: the lighter histogram's banks absorb
+/// the mismatch `Δ = |ΣP − ΣQ|`, split across clusters proportionally to the
+/// lighter histogram's per-cluster mass (uniformly when it is empty), and
+/// evenly across the `Nb` banks of a cluster. Capacities sum to exactly `Δ`
+/// so the extended problem is exactly balanced in integer arithmetic.
+///
+/// Note: the arXiv text prints the capacity as cluster-mass *divided by* the
+/// mismatch, which cannot equalize totals; we implement the evidently
+/// intended proportional allocation (see DESIGN.md).
+#[derive(Clone, Debug, Default)]
+pub struct BankCapacities {
+    /// Per-bank capacities appended to `P` (flat `(cluster, bank)` order).
+    pub p_banks: Vec<Mass>,
+    /// Per-bank capacities appended to `Q`.
+    pub q_banks: Vec<Mass>,
+}
+
+/// Splits `delta` proportionally to `weights` (uniformly if all zero),
+/// summing to exactly `delta` via largest-remainder rounding.
+pub fn proportional_split(delta: Mass, weights: &[Mass]) -> Vec<Mass> {
+    let k = weights.len();
+    debug_assert!(k > 0);
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    if delta == 0 {
+        return vec![0; k];
+    }
+    if total == 0 {
+        let base = delta / k as u64;
+        let rem = (delta % k as u64) as usize;
+        return (0..k).map(|i| base + u64::from(i < rem)).collect();
+    }
+    let mut shares: Vec<Mass> = Vec::with_capacity(k);
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(k);
+    let mut assigned: u128 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact_num = delta as u128 * w as u128;
+        let floor = exact_num / total;
+        shares.push(floor as Mass);
+        assigned += floor;
+        remainders.push((exact_num % total, i));
+    }
+    let mut leftover = delta as u128 - assigned;
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut idx = 0;
+    while leftover > 0 {
+        shares[remainders[idx].1] += 1;
+        leftover -= 1;
+        idx = (idx + 1) % k;
+    }
+    shares
+}
+
+/// Splits the mismatch `delta` into flat per-(cluster, bank) capacities
+/// given the lighter histogram's per-cluster masses — the allocation rule of
+/// [`bank_capacities`] exposed for callers (like SND's sparse path) that
+/// track cluster masses directly instead of building dense histograms.
+pub fn bank_capacities_from_cluster_masses(
+    delta: Mass,
+    cluster_masses: &[Mass],
+    banks_per_cluster: usize,
+) -> Vec<Mass> {
+    let per_cluster = proportional_split(delta, cluster_masses);
+    let mut flat = Vec::with_capacity(cluster_masses.len() * banks_per_cluster);
+    let even = vec![1 as Mass; banks_per_cluster];
+    for &cap in &per_cluster {
+        flat.extend(proportional_split(cap, &even));
+    }
+    flat
+}
+
+/// Computes the bank capacities for comparing `p` against `q` under the
+/// given geometry.
+pub fn bank_capacities(p: &Histogram, q: &Histogram, geom: &StarGeometry) -> BankCapacities {
+    let nb = geom.banks_per_cluster();
+    let bank_total = geom.bank_count();
+    let (tp, tq) = (p.total(), q.total());
+    let mut caps = BankCapacities {
+        p_banks: vec![0; bank_total],
+        q_banks: vec![0; bank_total],
+    };
+    if tp == tq || nb == 0 {
+        return caps;
+    }
+    let (lighter, lighter_banks) = if tp < tq {
+        (p, &mut caps.p_banks)
+    } else {
+        (q, &mut caps.q_banks)
+    };
+    let delta = tp.abs_diff(tq);
+    // Per-cluster mass of the lighter histogram.
+    let mut cluster_mass = vec![0 as Mass; geom.cluster_count];
+    for (i, &m) in lighter.masses().iter().enumerate() {
+        cluster_mass[geom.labels[i] as usize] += m;
+    }
+    lighter_banks.copy_from_slice(&bank_capacities_from_cluster_masses(
+        delta,
+        &cluster_mass,
+        nb,
+    ));
+    caps
+}
+
+/// Builds the extended ground distance `D̃` of Eq. 4 explicitly
+/// (`(n + banks) × (n + banks)`). Used by the dense reference path; the
+/// sparse path materializes only the rows it needs.
+pub fn extended_ground(ground: &DenseCost, geom: &StarGeometry) -> DenseCost {
+    let n = ground.rows();
+    debug_assert_eq!(n, ground.cols());
+    let banks = geom.bank_count();
+    let nb = geom.banks_per_cluster();
+    let total = n + banks;
+    let mut d = DenseCost::filled(total, total, 0);
+    for i in 0..n {
+        for j in 0..n {
+            *d.at_mut(i, j) = ground.at(i, j);
+        }
+    }
+    for c in 0..geom.cluster_count {
+        for b in 0..nb {
+            let k = n + geom.bank_index(c, b);
+            for i in 0..n {
+                *d.at_mut(i, k) = geom.bin_to_bank(i, c, b);
+                *d.at_mut(k, i) = geom.bank_to_bin(c, b, i);
+            }
+            for c2 in 0..geom.cluster_count {
+                for b2 in 0..nb {
+                    let k2 = n + geom.bank_index(c2, b2);
+                    *d.at_mut(k, k2) = geom.bank_to_bank(c, b, c2, b2);
+                }
+            }
+        }
+    }
+    d
+}
+
+/// EMD\* of Eq. 4: extends both histograms with cluster banks (capacities
+/// from [`bank_capacities`]), solves the balanced extended problem exactly,
+/// and returns the raw optimal cost (`EMD(P̃,Q̃,D̃)·max(ΣP,ΣQ)` — the EMD
+/// normalization cancels against the factor because extended totals equal
+/// `max(ΣP,ΣQ)`).
+pub fn emd_star(
+    p: &Histogram,
+    q: &Histogram,
+    ground: &DenseCost,
+    geom: &StarGeometry,
+    solver: Solver,
+) -> f64 {
+    let n = p.len();
+    assert_eq!(q.len(), n, "histogram length mismatch");
+    assert_eq!(p.scale(), q.scale(), "histogram scale mismatch");
+    assert_eq!(geom.labels.len(), n, "geometry covers all bins");
+    assert_eq!(ground.rows(), n, "ground distance shape");
+    assert_eq!(ground.cols(), n, "ground distance shape");
+
+    if p.total() == 0 && q.total() == 0 {
+        return 0.0;
+    }
+    let caps = bank_capacities(p, q, geom);
+    let mut supplies = p.masses().to_vec();
+    supplies.extend_from_slice(&caps.p_banks);
+    let mut demands = q.masses().to_vec();
+    demands.extend_from_slice(&caps.q_banks);
+    let d = extended_ground(ground, geom);
+    let plan = solve_balanced(&supplies, &demands, &d, solver);
+    plan.total_cost as f64 / p.scale() as f64
+}
+
+/// Convenience wrapper bundling geometry and solver choice.
+#[derive(Clone, Debug)]
+pub struct EmdStar {
+    /// Bank geometry.
+    pub geometry: StarGeometry,
+    /// Transportation solver.
+    pub solver: Solver,
+}
+
+impl EmdStar {
+    /// Creates an EMD\* evaluator.
+    pub fn new(geometry: StarGeometry, solver: Solver) -> Self {
+        EmdStar { geometry, solver }
+    }
+
+    /// Computes EMD\*(p, q) over the given ground distance.
+    pub fn distance(&self, p: &Histogram, q: &Histogram, ground: &DenseCost) -> f64 {
+        emd_star(p, q, ground, &self.geometry, self.solver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::emd_alpha;
+    use crate::histogram::DEFAULT_SCALE;
+
+    fn line_metric(n: usize) -> DenseCost {
+        let mut d = DenseCost::filled(n, n, 0);
+        for i in 0..n {
+            for j in 0..n {
+                *d.at_mut(i, j) = (i as i64 - j as i64).unsigned_abs() as u32;
+            }
+        }
+        d
+    }
+
+    /// Geometry splitting `0..n` into `k` contiguous clusters with exact
+    /// min-pair inter-cluster distances for the line metric.
+    fn line_clusters(n: usize, k: usize, gamma: u32) -> StarGeometry {
+        let size = n / k;
+        let labels: Vec<u32> = (0..n).map(|i| ((i / size).min(k - 1)) as u32).collect();
+        let mut inter = DenseCost::filled(k, k, 0);
+        for c in 0..k {
+            for c2 in 0..k {
+                if c != c2 {
+                    // Closest pair between contiguous segments.
+                    let gap = if c < c2 {
+                        c2 * size - (c * size + size - 1)
+                    } else {
+                        c * size - (c2 * size + size - 1)
+                    };
+                    *inter.at_mut(c, c2) = gap as u32;
+                }
+            }
+        }
+        StarGeometry {
+            labels,
+            cluster_count: k,
+            gammas: vec![vec![gamma]; k],
+            inter_cluster: inter,
+        }
+    }
+
+    fn two_cluster_line(n: usize, gamma: u32) -> StarGeometry {
+        line_clusters(n, 2, gamma)
+    }
+
+    #[test]
+    fn proportional_split_sums_to_delta() {
+        assert_eq!(proportional_split(10, &[1, 1, 1]), vec![4, 3, 3]);
+        assert_eq!(proportional_split(9, &[2, 1]), vec![6, 3]);
+        assert_eq!(proportional_split(7, &[0, 0]), vec![4, 3]);
+        assert_eq!(proportional_split(0, &[5, 5]), vec![0, 0]);
+        let split = proportional_split(1_000_003, &[7, 11, 13]);
+        assert_eq!(split.iter().sum::<u64>(), 1_000_003);
+    }
+
+    #[test]
+    fn single_cluster_star_equals_alpha() {
+        // With one cluster and one bank, EMD* degenerates to EMDα.
+        let d = line_metric(4);
+        let gamma = d.max_entry();
+        let geom = StarGeometry::single_cluster(4, vec![gamma]);
+        let p = Histogram::from_f64(&[2.0, 0.0, 1.0, 0.0], DEFAULT_SCALE);
+        let q = Histogram::from_f64(&[0.0, 1.0, 0.0, 0.0], DEFAULT_SCALE);
+        let star = emd_star(&p, &q, &d, &geom, Solver::Simplex);
+        let alpha = emd_alpha(&p, &q, &d, gamma, Solver::Simplex);
+        assert!((star - alpha).abs() < 1e-9, "{star} vs {alpha}");
+    }
+
+    #[test]
+    fn equal_masses_ignore_banks() {
+        let d = line_metric(6);
+        let geom = two_cluster_line(6, 3);
+        let p = Histogram::from_f64(&[1.0, 1.0, 0.0, 0.0, 0.0, 0.0], DEFAULT_SCALE);
+        let q = Histogram::from_f64(&[0.0, 0.0, 1.0, 1.0, 0.0, 0.0], DEFAULT_SCALE);
+        let star = emd_star(&p, &q, &d, &geom, Solver::Simplex);
+        let plain = crate::classic::emd_total_cost(&p, &q, &d, Solver::Simplex);
+        assert!((star - plain).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_banks_prefer_mass_near_existing_mass() {
+        // Fig. 5 intuition on a line: P has mass in the left region only.
+        // Q_near adds extra mass adjacent to that region; Q_far adds it at
+        // the far end. EMD* must rank Q_near closer, while EMDα sees no
+        // difference. Note the clustering must be finer than the two
+        // "pronounced" regions: bank distances are cluster-granular, so
+        // position sensitivity comes from the inter-cluster distance matrix
+        // (see the geometry-granularity note in DESIGN.md).
+        let n = 8;
+        let d = line_metric(n);
+        let geom = line_clusters(n, 4, 1);
+        let p = Histogram::from_f64(&[1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0], DEFAULT_SCALE);
+        let q_near = Histogram::from_f64(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0], DEFAULT_SCALE);
+        let q_far = Histogram::from_f64(&[1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0], DEFAULT_SCALE);
+        let near = emd_star(&p, &q_near, &d, &geom, Solver::Simplex);
+        let far = emd_star(&p, &q_far, &d, &geom, Solver::Simplex);
+        assert!(
+            near < far,
+            "EMD* should prefer propagated mass: near {near}, far {far}"
+        );
+        let gamma = d.max_entry();
+        let a_near = emd_alpha(&p, &q_near, &d, gamma, Solver::Simplex);
+        let a_far = emd_alpha(&p, &q_far, &d, gamma, Solver::Simplex);
+        assert!(
+            (a_near - a_far).abs() < 1e-9,
+            "EMDα cannot tell them apart: {a_near} vs {a_far}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_small_gamma() {
+        let d = line_metric(6);
+        let good = two_cluster_line(6, 3);
+        assert!(good.validate(&d).is_ok());
+        let bad = two_cluster_line(6, 0);
+        assert!(bad.validate(&d).is_err());
+    }
+
+    #[test]
+    fn multiple_banks_per_cluster() {
+        let d = line_metric(4);
+        let geom = StarGeometry::single_cluster(4, vec![3, 5]);
+        let p = Histogram::from_f64(&[3.0, 0.0, 0.0, 0.0], DEFAULT_SCALE);
+        let q = Histogram::from_f64(&[1.0, 0.0, 0.0, 0.0], DEFAULT_SCALE);
+        // Mismatch 2 splits 1+1 over the two banks; transporting surplus to
+        // the banks costs 3 + 5 = 8... but routing both units through the
+        // cheaper bank is impossible (capacity 1 each), so cost = 3 + 5.
+        let star = emd_star(&p, &q, &d, &geom, Solver::Simplex);
+        assert!((star - 8.0).abs() < 1e-9, "{star}");
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let d = line_metric(6);
+        let geom = two_cluster_line(6, 3);
+        let p = Histogram::from_f64(&[2.0, 0.0, 1.0, 0.0, 0.0, 1.0], DEFAULT_SCALE);
+        let q = Histogram::from_f64(&[0.0, 1.0, 0.0, 0.0, 0.0, 0.0], DEFAULT_SCALE);
+        let ab = emd_star(&p, &q, &d, &geom, Solver::Simplex);
+        let ba = emd_star(&q, &p, &d, &geom, Solver::Simplex);
+        assert!((ab - ba).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Breadth-first traversal utilities.
+
+use std::collections::VecDeque;
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Hop distances from a multi-source frontier, ignoring edge weights.
+/// Returns `u32::MAX` for unreachable nodes. When `undirected` is set the
+/// sweep uses both out- and in-edges.
+pub fn bfs_levels(g: &CsrGraph, sources: &[NodeId], undirected: bool) -> Vec<u32> {
+    let mut level = vec![u32::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if level[s as usize] == u32::MAX {
+            level[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let next = level[u as usize] + 1;
+        for &v in g.out_neighbors(u) {
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = next;
+                queue.push_back(v);
+            }
+        }
+        if undirected {
+            for &v in g.in_neighbors(u) {
+                if level[v as usize] == u32::MAX {
+                    level[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    level
+}
+
+/// Upper bound on the hop diameter via a double BFS sweep from `start`:
+/// BFS to the farthest node `f`, then BFS from `f`; the eccentricity of `f`
+/// lower-bounds the diameter and `2 * ecc(start)` upper-bounds it. Returns
+/// `(lower, upper)` over the reachable part.
+pub fn double_sweep_diameter(g: &CsrGraph, start: NodeId) -> (u32, u32) {
+    let l1 = bfs_levels(g, &[start], true);
+    let (far, ecc_start) = l1
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, &d)| (i as NodeId, d))
+        .unwrap_or((start, 0));
+    let l2 = bfs_levels(g, &[far], true);
+    let ecc_far = l2
+        .iter()
+        .copied()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0);
+    (ecc_far, 2 * ecc_start.max(ecc_far))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle_graph, path_graph};
+
+    #[test]
+    fn levels_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs_levels(&g, &[0], false), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_levels(&g, &[2], false), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn multi_source_levels() {
+        let g = path_graph(5);
+        assert_eq!(bfs_levels(&g, &[0, 4], false), vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn undirected_sweep_crosses_reverse_edges() {
+        let g = CsrGraph::from_edges(3, &[(1, 0), (1, 2)]);
+        let directed = bfs_levels(&g, &[0], false);
+        assert_eq!(directed[1], u32::MAX);
+        let undirected = bfs_levels(&g, &[0], true);
+        assert_eq!(undirected, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn double_sweep_bounds_hold() {
+        let g = cycle_graph(10); // true diameter 5
+        let (lo, hi) = double_sweep_diameter(&g, 0);
+        assert!(lo <= 5 && 5 <= hi, "bounds ({lo}, {hi}) should bracket 5");
+    }
+}

@@ -1,0 +1,102 @@
+//! Dial's bucket-queue Dijkstra for integer weights bounded by `U`.
+//!
+//! With edge weights in `[0, U]`, tentative distances in the priority queue
+//! always span a window of at most `U + 1` consecutive values, so a circular
+//! array of `U + 1` buckets replaces the heap. Extraction is `O(1)` amortized
+//! plus the cost of scanning empty buckets, giving `O(m + D)` total where `D`
+//! is the largest finite distance — exactly the regime of the paper's
+//! Assumption 2.
+
+use super::{Dist, UNREACHABLE};
+use crate::csr::{CsrGraph, NodeId};
+
+/// Multi-source Dial's algorithm. `max_weight` must bound every entry of
+/// `weights` (checked in debug builds).
+pub fn dial(g: &CsrGraph, weights: &[u32], sources: &[NodeId], max_weight: u32) -> Vec<Dist> {
+    dial_impl(g, weights, sources, max_weight, false)
+}
+
+/// Dial's algorithm over reversed edges: `result[v]` is the distance from
+/// `v` to the closest node of `sources` along forward edges.
+pub fn dial_reverse(
+    g: &CsrGraph,
+    weights: &[u32],
+    sources: &[NodeId],
+    max_weight: u32,
+) -> Vec<Dist> {
+    dial_impl(g, weights, sources, max_weight, true)
+}
+
+fn dial_impl(
+    g: &CsrGraph,
+    weights: &[u32],
+    sources: &[NodeId],
+    max_weight: u32,
+    reverse: bool,
+) -> Vec<Dist> {
+    debug_assert_eq!(weights.len(), g.edge_count());
+    debug_assert!(weights.iter().all(|&w| w <= max_weight));
+    let n = g.node_count();
+    let span = max_weight as usize + 1;
+    let mut dist = vec![UNREACHABLE; n];
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); span];
+    let mut in_queue = 0usize;
+
+    for &s in sources {
+        if dist[s as usize] != 0 {
+            dist[s as usize] = 0;
+            buckets[0].push(s);
+            in_queue += 1;
+        }
+    }
+
+    let mut current: Dist = 0;
+    while in_queue > 0 {
+        let slot = (current % span as Dist) as usize;
+        // Take the bucket for the current distance; it may contain stale
+        // entries whose distance improved since insertion.
+        while let Some(u) = buckets[slot].pop() {
+            in_queue -= 1;
+            if dist[u as usize] != current {
+                continue; // stale
+            }
+            let mut relax = |e: u32, v: NodeId| {
+                let nd = current + weights[e as usize] as Dist;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    buckets[(nd % span as Dist) as usize].push(v);
+                    in_queue += 1;
+                }
+            };
+            if reverse {
+                for (e, v) in g.in_edges(u) {
+                    relax(e, v);
+                }
+            } else {
+                for (e, v) in g.out_edges(u) {
+                    relax(e, v);
+                }
+            }
+        }
+        current += 1;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+
+    #[test]
+    fn stale_entries_are_skipped() {
+        // 0 ->(9) 1, 0 ->(1) 2, 2 ->(1) 1 : node 1 first queued at 9 then
+        // improved to 2; the bucket at 9 must skip the stale entry.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (2, 1)]);
+        let mut w = vec![0u32; 3];
+        w[g.find_edge(0, 1).unwrap() as usize] = 9;
+        w[g.find_edge(0, 2).unwrap() as usize] = 1;
+        w[g.find_edge(2, 1).unwrap() as usize] = 1;
+        assert_eq!(dial(&g, &w, &[0], 9), vec![0, 2, 1]);
+    }
+}

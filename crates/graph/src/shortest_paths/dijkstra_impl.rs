@@ -1,0 +1,114 @@
+//! Binary-heap Dijkstra (forward, reverse, and target-bounded variants).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::{Dist, UNREACHABLE};
+use crate::csr::{CsrGraph, NodeId};
+
+/// Multi-source Dijkstra with non-negative integer weights.
+///
+/// Returns the distance from the *closest* source to every node;
+/// [`UNREACHABLE`] where no path exists. `weights` must be aligned with the
+/// graph's forward edge ids.
+pub fn dijkstra(g: &CsrGraph, weights: &[u32], sources: &[NodeId]) -> Vec<Dist> {
+    debug_assert_eq!(weights.len(), g.edge_count());
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+    for &s in sources {
+        if dist[s as usize] != 0 {
+            dist[s as usize] = 0;
+            heap.push(Reverse((0, s)));
+        }
+    }
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        for (e, v) in g.out_edges(u) {
+            let nd = d + weights[e as usize] as Dist;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra on the reversed graph: `result[v]` is the distance from `v` to
+/// the closest node of `sources` along forward edges. Uses the CSR reverse
+/// index, so the same forward-aligned weight slice is reused.
+pub fn dijkstra_reverse(g: &CsrGraph, weights: &[u32], sources: &[NodeId]) -> Vec<Dist> {
+    debug_assert_eq!(weights.len(), g.edge_count());
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+    for &s in sources {
+        if dist[s as usize] != 0 {
+            dist[s as usize] = 0;
+            heap.push(Reverse((0, s)));
+        }
+    }
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (e, u) in g.in_edges(v) {
+            let nd = d + weights[e as usize] as Dist;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra that stops once every node in `targets` is settled.
+///
+/// Distances of unsettled non-target nodes are left as whatever tentative
+/// value was reached; only target entries (and settled nodes) are final.
+pub fn dijkstra_bounded(
+    g: &CsrGraph,
+    weights: &[u32],
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> Vec<Dist> {
+    debug_assert_eq!(weights.len(), g.edge_count());
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut is_target = vec![false; g.node_count()];
+    let mut remaining = 0usize;
+    for &t in targets {
+        if !is_target[t as usize] {
+            is_target[t as usize] = true;
+            remaining += 1;
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+    for &s in sources {
+        if dist[s as usize] != 0 {
+            dist[s as usize] = 0;
+            heap.push(Reverse((0, s)));
+        }
+    }
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        if is_target[u as usize] {
+            is_target[u as usize] = false;
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        for (e, v) in g.out_edges(u) {
+            let nd = d + weights[e as usize] as Dist;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}

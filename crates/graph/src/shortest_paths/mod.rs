@@ -1,0 +1,134 @@
+//! Single-source and all-pairs shortest paths.
+//!
+//! SND's ground distance is a shortest-path metric over integer edge costs
+//! bounded by a constant `U` (the paper's Assumption 2). Three SSSP engines
+//! are provided:
+//!
+//! * [`dijkstra`] — binary-heap Dijkstra, the robust default;
+//! * [`dial`] — Dial's bucket queue, `O(m + n·U)`-ish for small `U`;
+//! * [`radix_dijkstra`] — monotone radix-heap Dijkstra in the spirit of
+//!   Ahuja–Mehlhorn–Orlin–Tarjan, the structure Theorem 4 cites.
+//!
+//! [`bellman_ford`] and [`floyd_warshall`] are slow reference oracles used by
+//! tests. All functions accept a weight slice aligned with the graph's
+//! forward [`EdgeId`](crate::csr::EdgeId)s, and all support multi-source
+//! queries (distance from the *set* of sources), which SND uses both for
+//! cluster-to-node distances and for the ICC model's seed-set distances.
+
+mod dial_queue;
+mod dijkstra_impl;
+mod oracle;
+mod radix_heap;
+
+pub use dial_queue::{dial, dial_reverse};
+pub use dijkstra_impl::{dijkstra, dijkstra_bounded, dijkstra_reverse};
+pub use oracle::{bellman_ford, floyd_warshall};
+pub use radix_heap::{radix_dijkstra, RadixHeap};
+
+/// Distance type. Path costs fit easily: at most `(n-1) * U`.
+pub type Dist = u64;
+
+/// Sentinel for "no path". Large enough to dominate any real path cost while
+/// leaving headroom so that saturating additions never wrap.
+pub const UNREACHABLE: Dist = u64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn line_graph() -> (CsrGraph, Vec<u32>) {
+        // 0 -1-> 1 -2-> 2 -3-> 3
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut w = vec![0u32; g.edge_count()];
+        w[g.find_edge(0, 1).unwrap() as usize] = 1;
+        w[g.find_edge(1, 2).unwrap() as usize] = 2;
+        w[g.find_edge(2, 3).unwrap() as usize] = 3;
+        (g, w)
+    }
+
+    #[test]
+    fn line_distances() {
+        let (g, w) = line_graph();
+        let d = dijkstra(&g, &w, &[0]);
+        assert_eq!(d, vec![0, 1, 3, 6]);
+        let d = dial(&g, &w, &[0], 3);
+        assert_eq!(d, vec![0, 1, 3, 6]);
+        let d = radix_dijkstra(&g, &w, &[0]);
+        assert_eq!(d, vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let w = vec![5u32];
+        let d = dijkstra(&g, &w, &[0]);
+        assert_eq!(d[2], UNREACHABLE);
+        let d = dial(&g, &w, &[0], 5);
+        assert_eq!(d[2], UNREACHABLE);
+        let d = radix_dijkstra(&g, &w, &[0]);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn multi_source() {
+        let (g, w) = line_graph();
+        let d = dijkstra(&g, &w, &[0, 2]);
+        assert_eq!(d, vec![0, 1, 0, 3]);
+    }
+
+    #[test]
+    fn reverse_distances_match_reversed_graph() {
+        let (g, w) = line_graph();
+        // Distance from every node TO node 3.
+        let d = dijkstra_reverse(&g, &w, &[3]);
+        assert_eq!(d, vec![6, 5, 3, 0]);
+    }
+
+    #[test]
+    fn agree_with_oracles_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let n = 2 + (trial % 12);
+            let g = generators::erdos_renyi_gnp(n, 0.4, true, &mut rng);
+            let w: Vec<u32> = (0..g.edge_count()).map(|_| rng.gen_range(1..=9)).collect();
+            let src = rng.gen_range(0..n as u32);
+            let bf = bellman_ford(&g, &w, src);
+            let dj = dijkstra(&g, &w, &[src]);
+            let di = dial(&g, &w, &[src], 9);
+            let rx = radix_dijkstra(&g, &w, &[src]);
+            assert_eq!(dj, bf, "dijkstra vs bellman-ford, trial {trial}");
+            assert_eq!(di, bf, "dial vs bellman-ford, trial {trial}");
+            assert_eq!(rx, bf, "radix vs bellman-ford, trial {trial}");
+            let fw = floyd_warshall(&g, &w);
+            for v in 0..n {
+                assert_eq!(fw[src as usize][v], bf[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_dijkstra_stops_early_but_correct_for_settled() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::erdos_renyi_gnp(50, 0.1, true, &mut rng);
+        let w: Vec<u32> = (0..g.edge_count()).map(|_| rng.gen_range(1..=5)).collect();
+        let full = dijkstra(&g, &w, &[0]);
+        let targets: Vec<u32> = vec![3, 17, 41];
+        let bounded = dijkstra_bounded(&g, &w, &[0], &targets);
+        for &t in &targets {
+            assert_eq!(bounded[t as usize], full[t as usize]);
+        }
+    }
+
+    #[test]
+    fn zero_weight_edges_allowed() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let w = vec![0u32, 0u32];
+        assert_eq!(dijkstra(&g, &w, &[0]), vec![0, 0, 0]);
+        assert_eq!(dial(&g, &w, &[0], 1), vec![0, 0, 0]);
+        assert_eq!(radix_dijkstra(&g, &w, &[0]), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Slow shortest-path oracles used to cross-check the fast engines in tests.
+
+use super::{Dist, UNREACHABLE};
+use crate::csr::{CsrGraph, NodeId};
+
+/// Bellman–Ford from a single source. `O(n·m)`; test oracle only.
+pub fn bellman_ford(g: &CsrGraph, weights: &[u32], source: NodeId) -> Vec<Dist> {
+    debug_assert_eq!(weights.len(), g.edge_count());
+    let n = g.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    dist[source as usize] = 0;
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for u in g.nodes() {
+            let du = dist[u as usize];
+            if du == UNREACHABLE {
+                continue;
+            }
+            for (e, v) in g.out_edges(u) {
+                let nd = du + weights[e as usize] as Dist;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Floyd–Warshall all-pairs distances. `O(n^3)`; test oracle only.
+pub fn floyd_warshall(g: &CsrGraph, weights: &[u32]) -> Vec<Vec<Dist>> {
+    debug_assert_eq!(weights.len(), g.edge_count());
+    let n = g.node_count();
+    let mut d = vec![vec![UNREACHABLE; n]; n];
+    for i in 0..n {
+        d[i][i] = 0;
+    }
+    for u in g.nodes() {
+        for (e, v) in g.out_edges(u) {
+            let w = weights[e as usize] as Dist;
+            if w < d[u as usize][v as usize] {
+                d[u as usize][v as usize] = w;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i][k];
+            if dik == UNREACHABLE {
+                continue;
+            }
+            for j in 0..n {
+                let dkj = d[k][j];
+                if dkj == UNREACHABLE {
+                    continue;
+                }
+                let through = dik + dkj;
+                if through < d[i][j] {
+                    d[i][j] = through;
+                }
+            }
+        }
+    }
+    d
+}

@@ -1,0 +1,194 @@
+//! Monotone radix heap and the radix-heap Dijkstra variant.
+//!
+//! Theorem 4 of the paper cites the Ahuja–Mehlhorn–Orlin–Tarjan shortest-path
+//! algorithm, whose priority queue is a radix heap: a monotone queue whose
+//! buckets cover exponentially growing key ranges relative to the last
+//! extracted key. Insertions go into the bucket matching the key's highest
+//! differing bit; extraction empties the lowest non-empty bucket,
+//! redistributing its items against the new minimum. Each item moves to a
+//! strictly lower bucket on redistribution, so total redistribution work is
+//! `O(items · buckets)` with `buckets = 65` for 64-bit keys.
+
+use super::{Dist, UNREACHABLE};
+use crate::csr::{CsrGraph, NodeId};
+
+const BUCKETS: usize = 65;
+
+/// A monotone min-priority queue over `u64` keys: extracted keys form a
+/// non-decreasing sequence, and pushed keys must be `>=` the last extracted
+/// key (debug-asserted).
+pub struct RadixHeap<T> {
+    buckets: Vec<Vec<(u64, T)>>,
+    /// Minimum key of each bucket, tracked to avoid rescans.
+    bucket_min: [u64; BUCKETS],
+    last: u64,
+    len: usize,
+}
+
+impl<T> Default for RadixHeap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RadixHeap<T> {
+    /// Creates an empty heap with last-extracted key 0.
+    pub fn new() -> Self {
+        RadixHeap {
+            buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            bucket_min: [u64::MAX; BUCKETS],
+            last: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        // Bucket index = position of highest bit differing from `last`;
+        // equal keys go to bucket 0.
+        let x = key ^ self.last;
+        (64 - x.leading_zeros()) as usize
+    }
+
+    /// Pushes `(key, value)`. `key` must be `>=` the last popped key.
+    pub fn push(&mut self, key: u64, value: T) {
+        debug_assert!(key >= self.last, "radix heap requires monotone keys");
+        let b = self.bucket_of(key);
+        self.buckets[b].push((key, value));
+        if key < self.bucket_min[b] {
+            self.bucket_min[b] = key;
+        }
+        self.len += 1;
+    }
+
+    /// Pops the item with the minimum key.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Find the first non-empty bucket.
+        let b = self
+            .buckets
+            .iter()
+            .position(|bucket| !bucket.is_empty())
+            .expect("len > 0 implies a non-empty bucket");
+        if b == 0 {
+            // Bucket 0 holds keys equal to `last`; any entry is minimal.
+            self.len -= 1;
+            let item = self.buckets[0].pop();
+            if self.buckets[0].is_empty() {
+                self.bucket_min[0] = u64::MAX;
+            }
+            return item;
+        }
+        // Redistribute bucket `b` against its minimum key, which becomes the
+        // new `last`. Every item lands in a strictly smaller bucket.
+        let new_last = self.bucket_min[b];
+        self.last = new_last;
+        let drained = std::mem::take(&mut self.buckets[b]);
+        self.bucket_min[b] = u64::MAX;
+        for (k, v) in drained {
+            let nb = self.bucket_of(k);
+            debug_assert!(nb < b);
+            if k < self.bucket_min[nb] {
+                self.bucket_min[nb] = k;
+            }
+            self.buckets[nb].push((k, v));
+        }
+        self.len -= 1;
+        let item = self.buckets[0].pop();
+        if self.buckets[0].is_empty() {
+            self.bucket_min[0] = u64::MAX;
+        }
+        item
+    }
+}
+
+/// Multi-source Dijkstra driven by a [`RadixHeap`].
+pub fn radix_dijkstra(g: &CsrGraph, weights: &[u32], sources: &[NodeId]) -> Vec<Dist> {
+    debug_assert_eq!(weights.len(), g.edge_count());
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut heap: RadixHeap<NodeId> = RadixHeap::new();
+    for &s in sources {
+        if dist[s as usize] != 0 {
+            dist[s as usize] = 0;
+            heap.push(0, s);
+        }
+    }
+    while let Some((d, u)) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (e, v) in g.out_edges(u) {
+            let nd = d + weights[e as usize] as Dist;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(nd, v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_monotone_stream() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut heap = RadixHeap::new();
+        let mut keys: Vec<u64> = (0..500).map(|_| rng.gen_range(0..10_000)).collect();
+        for &k in &keys {
+            heap.push(k, k);
+        }
+        keys.sort_unstable();
+        let mut out = Vec::new();
+        while let Some((k, v)) = heap.pop() {
+            assert_eq!(k, v);
+            out.push(k);
+        }
+        assert_eq!(out, keys);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_monotone() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut heap = RadixHeap::new();
+        let mut last = 0u64;
+        for _ in 0..200 {
+            let base = last;
+            for _ in 0..5 {
+                let k = base + rng.gen_range(0..100);
+                heap.push(k, ());
+            }
+            if let Some((k, ())) = heap.pop() {
+                assert!(k >= last);
+                last = k;
+            }
+        }
+        while let Some((k, ())) = heap.pop() {
+            assert!(k >= last);
+            last = k;
+        }
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut heap: RadixHeap<u32> = RadixHeap::new();
+        assert!(heap.pop().is_none());
+        assert!(heap.is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Model-agnostic opinion propagation penalties (§3).
+//!
+//! When there is no evidence that opinions follow a specific dynamics model,
+//! the spreading penalty of an edge depends only on the stance of the
+//! *spreader* `u` relative to the opinion `op` being propagated (and on
+//! whether the receiver actively holds the adverse opinion):
+//!
+//! ```text
+//! −log Pout(u→v) = c_adverse   if G[u] ≠ op  (and u active)  or  G[v] = −op
+//!                  c_neutral   if G[u] = 0
+//!                  c_friendly  if G[u] = op
+//! ```
+//!
+//! with `c_friendly < c_neutral < c_adverse`: users happily spread opinions
+//! matching their own, are reluctant to spread adverse ones, and neutral
+//! users sit in between.
+
+use snd_graph::CsrGraph;
+
+use crate::state::{NetworkState, Opinion};
+
+/// The three constant penalties (in integer cost units).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AgnosticPenalties {
+    /// Penalty when the spreader holds `op` itself.
+    pub friendly: u32,
+    /// Penalty when the spreader is neutral.
+    pub neutral: u32,
+    /// Penalty when the spreader holds the adverse opinion, or the receiver
+    /// actively holds the adverse opinion.
+    pub adverse: u32,
+}
+
+impl Default for AgnosticPenalties {
+    fn default() -> Self {
+        // friendly < neutral < adverse; with the +1 communication penalty
+        // these give edge costs 1 / 6 / 21.
+        AgnosticPenalties {
+            friendly: 0,
+            neutral: 5,
+            adverse: 20,
+        }
+    }
+}
+
+impl AgnosticPenalties {
+    /// Creates penalties, enforcing `friendly < neutral < adverse`.
+    pub fn new(friendly: u32, neutral: u32, adverse: u32) -> Self {
+        assert!(
+            friendly < neutral && neutral < adverse,
+            "penalties must satisfy friendly < neutral < adverse"
+        );
+        AgnosticPenalties {
+            friendly,
+            neutral,
+            adverse,
+        }
+    }
+
+    /// Largest penalty this model can emit.
+    pub fn max_penalty(&self) -> u32 {
+        self.adverse
+    }
+}
+
+/// Spreading penalties per edge for opinion `op` in state `state`.
+pub fn spreading_costs(
+    g: &CsrGraph,
+    state: &NetworkState,
+    op: Opinion,
+    penalties: &AgnosticPenalties,
+) -> Vec<u32> {
+    let mut costs = Vec::with_capacity(g.edge_count());
+    for (u, v) in g.edges() {
+        let gu = state.opinion(u);
+        let gv = state.opinion(v);
+        let c = if (gu.is_active() && gu != op) || gv == op.opposite() {
+            penalties.adverse
+        } else if gu == Opinion::Neutral {
+            penalties.neutral
+        } else {
+            penalties.friendly
+        };
+        costs.push(c);
+    }
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_graph::CsrGraph;
+
+    #[test]
+    fn penalties_follow_spreader_stance() {
+        // 0(+) -> 1(0), 1(0) -> 2(0), 3(-) -> 2(0), 0(+) -> 2(0)
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (3, 2), (0, 2)]);
+        let state = NetworkState::from_values(&[1, 0, 0, -1]);
+        let p = AgnosticPenalties::default();
+        let costs = spreading_costs(&g, &state, Opinion::Positive, &p);
+        let cost_of = |u, v| costs[g.find_edge(u, v).unwrap() as usize];
+        assert_eq!(cost_of(0, 1), p.friendly); // + spreads +
+        assert_eq!(cost_of(1, 2), p.neutral); // neutral spreader
+        assert_eq!(cost_of(3, 2), p.adverse); // − spreads +
+        assert_eq!(cost_of(0, 2), p.friendly);
+    }
+
+    #[test]
+    fn adverse_receiver_blocks_propagation() {
+        // 0(+) -> 1(−): receiver holds the adverse opinion.
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let state = NetworkState::from_values(&[1, -1]);
+        let p = AgnosticPenalties::default();
+        let costs = spreading_costs(&g, &state, Opinion::Positive, &p);
+        assert_eq!(costs[0], p.adverse);
+    }
+
+    #[test]
+    fn penalties_are_opinion_specific() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let state = NetworkState::from_values(&[-1, 0]);
+        let p = AgnosticPenalties::default();
+        let for_minus = spreading_costs(&g, &state, Opinion::Negative, &p);
+        let for_plus = spreading_costs(&g, &state, Opinion::Positive, &p);
+        assert_eq!(for_minus[0], p.friendly);
+        assert_eq!(for_plus[0], p.adverse);
+    }
+
+    #[test]
+    #[should_panic(expected = "friendly < neutral < adverse")]
+    fn ordering_enforced() {
+        let _ = AgnosticPenalties::new(5, 5, 6);
+    }
+}

@@ -1,0 +1,380 @@
+//! Forward simulators of polar opinion dynamics.
+//!
+//! These generate the network-state *series* that the evaluation section
+//! analyzes:
+//!
+//! * [`voting_step`] — the paper's synthetic-data process (§6.1): every
+//!   neutral user gets a chance to activate, adopting an opinion from the
+//!   neighborhood with probability `p_nbr` (probabilistic voting over active
+//!   in-neighbors) or a uniformly random opinion with probability `p_ext`.
+//!   Anomalies are simulated by shifting probability mass between `p_nbr`
+//!   and `p_ext` while preserving their sum, so the *rate* of activation is
+//!   unchanged and only the *mechanism* differs (§6.2).
+//! * [`icc_step`] — one round of the Independent Cascade with Competition:
+//!   normal transitions for the model-sensitivity experiment (§6.4).
+//! * [`lt_step`] — one round of the Linear Threshold with Competition.
+//! * [`random_activation_step`] — structure-oblivious random activations:
+//!   the anomalous transitions of §6.4.
+
+use rand::Rng;
+use snd_graph::{CsrGraph, NodeId};
+
+use crate::icc::IccParams;
+use crate::ltc::LtcParams;
+use crate::state::{NetworkState, Opinion};
+
+/// Parameters of the probabilistic-voting activation process.
+#[derive(Clone, Copy, Debug)]
+pub struct VotingConfig {
+    /// Probability a neutral user adopts an opinion from her neighbors.
+    pub p_nbr: f64,
+    /// Probability a neutral user adopts a uniformly random opinion
+    /// (an "external" influence).
+    pub p_ext: f64,
+}
+
+impl VotingConfig {
+    /// Creates a config; probabilities must sum to at most 1.
+    pub fn new(p_nbr: f64, p_ext: f64) -> Self {
+        assert!(p_nbr >= 0.0 && p_ext >= 0.0 && p_nbr + p_ext <= 1.0);
+        VotingConfig { p_nbr, p_ext }
+    }
+}
+
+/// Picks an opinion by probabilistic voting over the active in-neighbors of
+/// `v` (probability proportional to the counts of each camp). Returns
+/// `None` when no in-neighbor is active.
+pub fn neighborhood_vote<R: Rng>(
+    g: &CsrGraph,
+    state: &NetworkState,
+    v: NodeId,
+    rng: &mut R,
+) -> Option<Opinion> {
+    let mut pos = 0usize;
+    let mut neg = 0usize;
+    for &u in g.in_neighbors(v) {
+        match state.opinion(u) {
+            Opinion::Positive => pos += 1,
+            Opinion::Negative => neg += 1,
+            Opinion::Neutral => {}
+        }
+    }
+    if pos + neg == 0 {
+        return None;
+    }
+    let p = pos as f64 / (pos + neg) as f64;
+    Some(if rng.gen_bool(p) {
+        Opinion::Positive
+    } else {
+        Opinion::Negative
+    })
+}
+
+/// One step of the voting process: every neutral user flips a three-way
+/// coin (adopt-from-neighbors / adopt-random / stay-neutral). A user whose
+/// neighborhood vote is empty (no active in-neighbors) stays neutral — one
+/// cannot adopt an opinion from nobody — so the paper's sum-preservation
+/// property (`p_nbr + p_ext` fixes the activation volume) holds in the
+/// regime where most users see at least one active in-neighbor.
+pub fn voting_step<R: Rng>(
+    g: &CsrGraph,
+    state: &NetworkState,
+    config: &VotingConfig,
+    rng: &mut R,
+) -> NetworkState {
+    let mut next = state.clone();
+    for v in g.nodes() {
+        if state.opinion(v).is_active() {
+            continue;
+        }
+        let r: f64 = rng.gen();
+        if r < config.p_nbr {
+            if let Some(op) = neighborhood_vote(g, state, v, rng) {
+                next.set(v, op);
+            }
+        } else if r < config.p_nbr + config.p_ext {
+            next.set(v, random_opinion(rng));
+        }
+    }
+    next
+}
+
+/// Like [`voting_step`], but only a uniform sample of `chances` neutral
+/// users gets the activation chance — the paper's "a number of Gi's neutral
+/// users get a chance to be activated" for long series, where giving every
+/// neutral user a chance each step would saturate the network.
+pub fn voting_step_sampled<R: Rng>(
+    g: &CsrGraph,
+    state: &NetworkState,
+    config: &VotingConfig,
+    chances: usize,
+    rng: &mut R,
+) -> NetworkState {
+    let mut next = state.clone();
+    let mut neutral: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| !state.opinion(v).is_active())
+        .collect();
+    let k = chances.min(neutral.len());
+    for i in 0..k {
+        let j = rng.gen_range(i..neutral.len());
+        neutral.swap(i, j);
+        let v = neutral[i];
+        let r: f64 = rng.gen();
+        if r < config.p_nbr {
+            if let Some(op) = neighborhood_vote(g, state, v, rng) {
+                next.set(v, op);
+            }
+        } else if r < config.p_nbr + config.p_ext {
+            next.set(v, random_opinion(rng));
+        }
+    }
+    next
+}
+
+/// A uniformly random polar opinion.
+pub fn random_opinion<R: Rng>(rng: &mut R) -> Opinion {
+    if rng.gen_bool(0.5) {
+        Opinion::Positive
+    } else {
+        Opinion::Negative
+    }
+}
+
+/// One round of the Independent Cascade with Competition: every active user
+/// attempts to activate each neutral out-neighbor with the edge's
+/// activation probability; a user activated by several neighbors adopts one
+/// of their opinions with probability proportional to the attempting edges'
+/// activation probabilities (the distance-based tie-breaking of Carnes et
+/// al. collapses to this for unit edge distances).
+pub fn icc_step<R: Rng>(
+    g: &CsrGraph,
+    state: &NetworkState,
+    params: &IccParams,
+    rng: &mut R,
+) -> NetworkState {
+    let mut next = state.clone();
+    for v in g.nodes() {
+        if state.opinion(v).is_active() {
+            continue;
+        }
+        let mut pos_w = 0.0f64;
+        let mut neg_w = 0.0f64;
+        for (e, u) in g.in_edges(v) {
+            let op = state.opinion(u);
+            if !op.is_active() {
+                continue;
+            }
+            let p = params.activation_of(g, e, v);
+            if p > 0.0 && rng.gen_bool(p.min(1.0)) {
+                match op {
+                    Opinion::Positive => pos_w += p,
+                    Opinion::Negative => neg_w += p,
+                    Opinion::Neutral => unreachable!(),
+                }
+            }
+        }
+        if pos_w + neg_w > 0.0 {
+            let p = pos_w / (pos_w + neg_w);
+            next.set(
+                v,
+                if rng.gen_bool(p) {
+                    Opinion::Positive
+                } else {
+                    Opinion::Negative
+                },
+            );
+        }
+    }
+    next
+}
+
+/// One round of the Linear Threshold with Competition: a neutral user whose
+/// incoming active influence reaches her threshold activates and adopts the
+/// camp with the larger incoming weight (ties broken uniformly).
+pub fn lt_step<R: Rng>(
+    g: &CsrGraph,
+    state: &NetworkState,
+    params: &LtcParams,
+    rng: &mut R,
+) -> NetworkState {
+    let mut next = state.clone();
+    for v in g.nodes() {
+        if state.opinion(v).is_active() {
+            continue;
+        }
+        let mut pos_w = 0.0f64;
+        let mut neg_w = 0.0f64;
+        for (e, u) in g.in_edges(v) {
+            match state.opinion(u) {
+                Opinion::Positive => pos_w += params.weight_of(g, e, v),
+                Opinion::Negative => neg_w += params.weight_of(g, e, v),
+                Opinion::Neutral => {}
+            }
+        }
+        if pos_w + neg_w >= params.threshold_of(v) {
+            let op = if pos_w > neg_w {
+                Opinion::Positive
+            } else if neg_w > pos_w {
+                Opinion::Negative
+            } else {
+                random_opinion(rng)
+            };
+            next.set(v, op);
+        }
+    }
+    next
+}
+
+/// Structure-oblivious anomaly: activates `count` uniformly random neutral
+/// users with uniformly random opinions (§6.4's anomalous transitions).
+pub fn random_activation_step<R: Rng>(
+    g: &CsrGraph,
+    state: &NetworkState,
+    count: usize,
+    rng: &mut R,
+) -> NetworkState {
+    let mut next = state.clone();
+    let mut neutral: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| !state.opinion(v).is_active())
+        .collect();
+    let k = count.min(neutral.len());
+    // Partial Fisher–Yates: the first k entries become a uniform sample.
+    for i in 0..k {
+        let j = rng.gen_range(i..neutral.len());
+        neutral.swap(i, j);
+        next.set(neutral[i], random_opinion(rng));
+    }
+    next
+}
+
+/// Seeds `count` initial adopters uniformly at random, split approximately
+/// evenly between the two opinions (the paper's initial network state).
+pub fn seed_initial_adopters<R: Rng>(n: usize, count: usize, rng: &mut R) -> NetworkState {
+    let mut state = NetworkState::new_neutral(n);
+    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+    let k = count.min(n);
+    for i in 0..k {
+        let j = rng.gen_range(i..ids.len());
+        ids.swap(i, j);
+        let op = if i % 2 == 0 {
+            Opinion::Positive
+        } else {
+            Opinion::Negative
+        };
+        state.set(ids[i], op);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use snd_graph::generators::{barabasi_albert, path_graph};
+
+    #[test]
+    fn voting_step_only_activates_neutral_users() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = barabasi_albert(200, 3, &mut rng);
+        let state = seed_initial_adopters(200, 20, &mut rng);
+        let next = voting_step(&g, &state, &VotingConfig::new(0.3, 0.1), &mut rng);
+        for v in g.nodes() {
+            if state.opinion(v).is_active() {
+                assert_eq!(state.opinion(v), next.opinion(v), "active users never flip");
+            }
+        }
+        assert!(next.active_count() >= state.active_count());
+    }
+
+    #[test]
+    fn activation_rate_tracks_probability_sum() {
+        // Sum preservation holds when most users have active in-neighbors;
+        // seed half the network so the neighborhood-vote branch never
+        // starves.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = barabasi_albert(2000, 3, &mut rng);
+        let state = seed_initial_adopters(2000, 1000, &mut rng);
+        let a = voting_step(&g, &state, &VotingConfig::new(0.15, 0.05), &mut rng);
+        let b = voting_step(&g, &state, &VotingConfig::new(0.05, 0.15), &mut rng);
+        let new_a = a.active_count() - state.active_count();
+        let new_b = b.active_count() - state.active_count();
+        // Same p_nbr + p_ext => similar activation volume (within noise).
+        let ratio = new_a as f64 / new_b as f64;
+        assert!((0.7..1.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn neighborhood_vote_follows_majority() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Node 2 sees two + and zero −.
+        let g = CsrGraph::from_edges(3, &[(0, 2), (1, 2)]);
+        let state = NetworkState::from_values(&[1, 1, 0]);
+        for _ in 0..10 {
+            assert_eq!(
+                neighborhood_vote(&g, &state, 2, &mut rng),
+                Some(Opinion::Positive)
+            );
+        }
+        let lonely = NetworkState::new_neutral(3);
+        assert_eq!(neighborhood_vote(&g, &lonely, 2, &mut rng), None);
+    }
+
+    use snd_graph::CsrGraph;
+
+    #[test]
+    fn icc_step_spreads_from_seeds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = path_graph(10);
+        let mut state = NetworkState::new_neutral(10);
+        state.set(5, Opinion::Positive);
+        let params = IccParams {
+            activation: crate::icc::EdgeActivation::Uniform(1.0),
+            ..Default::default()
+        };
+        let next = icc_step(&g, &state, &params, &mut rng);
+        assert_eq!(next.opinion(4), Opinion::Positive);
+        assert_eq!(next.opinion(6), Opinion::Positive);
+        assert_eq!(next.opinion(0), Opinion::Neutral);
+    }
+
+    #[test]
+    fn lt_step_requires_threshold() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Node 2 with two in-neighbors, one active: influence 0.5.
+        let g = CsrGraph::from_edges(3, &[(0, 2), (1, 2)]);
+        let state = NetworkState::from_values(&[-1, 0, 0]);
+        let low = LtcParams {
+            thresholds: Some(vec![0.4; 3]),
+            ..Default::default()
+        };
+        let next = lt_step(&g, &state, &low, &mut rng);
+        assert_eq!(next.opinion(2), Opinion::Negative);
+        let high = LtcParams {
+            thresholds: Some(vec![0.9; 3]),
+            ..Default::default()
+        };
+        let next = lt_step(&g, &state, &high, &mut rng);
+        assert_eq!(next.opinion(2), Opinion::Neutral);
+    }
+
+    #[test]
+    fn random_activation_changes_exactly_count_users() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = path_graph(50);
+        let state = NetworkState::new_neutral(50);
+        let next = random_activation_step(&g, &state, 7, &mut rng);
+        assert_eq!(state.diff_count(&next), 7);
+    }
+
+    #[test]
+    fn seeding_is_balanced() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let state = seed_initial_adopters(1000, 100, &mut rng);
+        assert_eq!(state.active_count(), 100);
+        let pos = state.count(Opinion::Positive);
+        assert_eq!(pos, 50);
+    }
+}

@@ -1,0 +1,35 @@
+//! Polar opinion dynamics models and opinion-dependent ground distances.
+//!
+//! SND's ground distance is derived from an *extended adjacency matrix*
+//! (paper Eq. 2):
+//!
+//! ```text
+//! A_ext(G, op) = −log P(G, op) − log Pin(G, op) − log Pout(G, op)
+//! ```
+//!
+//! combining communication penalties (topological remoteness), opinion
+//! adoption penalties (stubbornness), and opinion *spreading* penalties that
+//! depend on a chosen opinion dynamics model. This crate provides:
+//!
+//! * [`NetworkState`] / [`Opinion`] — polar opinion assignments (+1/0/−1);
+//! * [`GroundCostConfig`] + [`edge_costs`] — integer edge-cost construction
+//!   satisfying the paper's Assumption 2 (costs in `[1, U]`), for the three
+//!   spreading models of §3: model-agnostic constants, Independent Cascade
+//!   with Competition (Carnes et al.), and Linear Threshold with Competition
+//!   (Borodin et al.);
+//! * [`dynamics`] — forward simulators (probabilistic-voting activation,
+//!   ICC and LTC cascades, random activation) used to generate synthetic
+//!   network-state series for the evaluation.
+
+pub mod agnostic;
+pub mod dynamics;
+pub mod ground;
+pub mod icc;
+pub mod ltc;
+pub mod state;
+
+pub use agnostic::AgnosticPenalties;
+pub use ground::{edge_costs, prob_to_cost, GroundCostConfig, SpreadingModel};
+pub use icc::IccParams;
+pub use ltc::LtcParams;
+pub use state::{NetworkState, Opinion};

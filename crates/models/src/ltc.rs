@@ -1,0 +1,186 @@
+//! Linear Threshold with Competition (Borodin et al.) spreading
+//! probabilities (§3).
+//!
+//! Every edge carries an influence weight `ω_uv` and every user a threshold
+//! `θ_v`. With `N_in(G, v)` the set of active in-neighbors of `v` and
+//! `Ω_in = Σ_{x ∈ N_in} ω_xv`:
+//!
+//! ```text
+//! Pout(u→v) = 0                      if u ∉ N_in(G, v)
+//!             1                      if G[u] = op ∧ G[v] = op
+//!             (1 − ε)·ω_uv / Ω_in    if G[u] = op ∧ G[v] = 0 ∧ Ω_in ≥ θ_v
+//!             ε                      otherwise
+//! ```
+//!
+//! As with ICC, "impossible" branches receive probability `ε` so all state
+//! pairs remain at finite distance.
+
+use snd_graph::CsrGraph;
+
+use crate::state::{NetworkState, Opinion};
+
+/// Per-edge influence weights.
+#[derive(Clone, Debug)]
+pub enum EdgeWeights {
+    /// `ω_uv = 1 / in_degree(v)` — thresholds compare against the active
+    /// fraction of the in-neighborhood.
+    DegreeNormalized,
+    /// Same weight on every edge.
+    Uniform(f64),
+    /// Explicit per-edge weights (aligned with forward edge ids).
+    PerEdge(Vec<f64>),
+}
+
+/// LTC model parameters.
+#[derive(Clone, Debug)]
+pub struct LtcParams {
+    /// Influence weights `ω_uv`.
+    pub weights: EdgeWeights,
+    /// Per-user thresholds `θ_v`; `None` = 0.5 everywhere.
+    pub thresholds: Option<Vec<f64>>,
+    /// Probability of model-impossible events.
+    pub epsilon: f64,
+}
+
+impl Default for LtcParams {
+    fn default() -> Self {
+        LtcParams {
+            weights: EdgeWeights::DegreeNormalized,
+            thresholds: None,
+            epsilon: 1e-6,
+        }
+    }
+}
+
+impl LtcParams {
+    /// Weight of edge `e = (u, v)`.
+    pub fn weight_of(&self, g: &CsrGraph, e: u32, v: u32) -> f64 {
+        match &self.weights {
+            EdgeWeights::DegreeNormalized => {
+                let deg = g.in_degree(v);
+                if deg == 0 {
+                    0.0
+                } else {
+                    1.0 / deg as f64
+                }
+            }
+            EdgeWeights::Uniform(w) => *w,
+            EdgeWeights::PerEdge(w) => w[e as usize],
+        }
+    }
+
+    /// Threshold of node `v`.
+    pub fn threshold_of(&self, v: u32) -> f64 {
+        self.thresholds.as_ref().map_or(0.5, |t| t[v as usize])
+    }
+}
+
+/// Spreading probabilities per edge for opinion `op` in state `state`.
+pub fn spreading_probabilities(
+    g: &CsrGraph,
+    state: &NetworkState,
+    op: Opinion,
+    params: &LtcParams,
+) -> Vec<f64> {
+    if let EdgeWeights::PerEdge(w) = &params.weights {
+        assert_eq!(w.len(), g.edge_count(), "weights per edge");
+    }
+    if let Some(t) = &params.thresholds {
+        assert_eq!(t.len(), g.node_count(), "thresholds per node");
+    }
+    let eps = params.epsilon;
+
+    // Ω_in per node: total incoming active influence.
+    let n = g.node_count();
+    let mut omega_in = vec![0.0f64; n];
+    for v in g.nodes() {
+        for (e, u) in g.in_edges(v) {
+            if state.opinion(u).is_active() {
+                omega_in[v as usize] += params.weight_of(g, e, v);
+            }
+        }
+    }
+
+    let mut probs = Vec::with_capacity(g.edge_count());
+    let mut edge_id = 0u32;
+    for u in g.nodes() {
+        for &v in g.out_neighbors(u) {
+            let gu = state.opinion(u);
+            let gv = state.opinion(v);
+            let p = if !gu.is_active() {
+                eps // u ∉ N_in(G, v)
+            } else if gu == op && gv == op {
+                1.0
+            } else if gu == op
+                && gv == Opinion::Neutral
+                && omega_in[v as usize] >= params.threshold_of(v)
+            {
+                let w = params.weight_of(g, edge_id, v);
+                ((1.0 - eps) * w / omega_in[v as usize]).min(1.0)
+            } else {
+                eps
+            };
+            probs.push(p.max(eps));
+            edge_id += 1;
+        }
+    }
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_opinion_pair_is_certain() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let state = NetworkState::from_values(&[-1, -1]);
+        let p = spreading_probabilities(&g, &state, Opinion::Negative, &LtcParams::default());
+        assert_eq!(p[0], 1.0);
+    }
+
+    #[test]
+    fn below_threshold_blocks_influence() {
+        // v=2 has two in-neighbors, only one active: Ω_in = 0.5 < θ = 0.9.
+        let g = CsrGraph::from_edges(3, &[(0, 2), (1, 2)]);
+        let state = NetworkState::from_values(&[1, 0, 0]);
+        let params = LtcParams {
+            thresholds: Some(vec![0.9; 3]),
+            ..Default::default()
+        };
+        let p = spreading_probabilities(&g, &state, Opinion::Positive, &params);
+        assert!(p[g.find_edge(0, 2).unwrap() as usize] <= 1e-6);
+    }
+
+    #[test]
+    fn influence_is_weight_proportional_above_threshold() {
+        // Both in-neighbors active: Ω_in = 1.0 ≥ 0.5; friendly edge carries
+        // ω/Ω = 0.5 (scaled by 1−ε).
+        let g = CsrGraph::from_edges(3, &[(0, 2), (1, 2)]);
+        let state = NetworkState::from_values(&[1, -1, 0]);
+        let p = spreading_probabilities(&g, &state, Opinion::Positive, &LtcParams::default());
+        let friendly = p[g.find_edge(0, 2).unwrap() as usize];
+        let adverse = p[g.find_edge(1, 2).unwrap() as usize];
+        assert!((friendly - 0.5).abs() < 1e-3, "{friendly}");
+        assert!(adverse <= 1e-6);
+    }
+
+    #[test]
+    fn inactive_spreaders_are_epsilon() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let state = NetworkState::from_values(&[0, 1]);
+        let p = spreading_probabilities(&g, &state, Opinion::Positive, &LtcParams::default());
+        assert!(p[0] <= 1e-6);
+    }
+
+    #[test]
+    fn adverse_competition_dilutes_but_does_not_block() {
+        // v has 4 in-neighbors: 2 friendly, 2 adverse, all active.
+        // Ω_in = 1.0; each friendly edge carries 0.25.
+        let g = CsrGraph::from_edges(5, &[(0, 4), (1, 4), (2, 4), (3, 4)]);
+        let state = NetworkState::from_values(&[1, 1, -1, -1, 0]);
+        let p = spreading_probabilities(&g, &state, Opinion::Positive, &LtcParams::default());
+        let f = p[g.find_edge(0, 4).unwrap() as usize];
+        assert!((f - 0.25).abs() < 1e-3, "{f}");
+    }
+}

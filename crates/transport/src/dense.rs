@@ -1,0 +1,218 @@
+//! Dense row-major cost matrix with `u32` entries.
+//!
+//! Shortest-path costs in SND fit comfortably in `u32`: with the paper's
+//! Assumption 2 (edge costs `<= U`), a path of at most `n − 1` hops costs at
+//! most `(n − 1)·U`, which is below `2^32` even for `n = 200k`, `U = 60`.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+/// Dense row-major cost matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DenseCost {
+    rows: usize,
+    cols: usize,
+    data: Vec<u32>,
+}
+
+impl DenseCost {
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: u32) -> Self {
+        DenseCost {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<u32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        DenseCost { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices (test convenience).
+    pub fn from_rows(rows: &[&[u32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        DenseCost { rows: r, cols: c, data }
+    }
+
+    /// Random matrix with entries in `range` (test convenience).
+    pub fn random<R: Rng>(rows: usize, cols: usize, range: Range<u32>, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(range.clone())).collect();
+        DenseCost { rows, cols, data }
+    }
+
+    /// Number of rows (suppliers).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (consumers).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cost of cell `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> u32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable access to cell `(i, j)`.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut u32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Maximum entry (0 for an empty matrix).
+    pub fn max_entry(&self) -> u32 {
+        self.data.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Extracts the submatrix given row and column index lists.
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> DenseCost {
+        let mut data = Vec::with_capacity(rows.len() * cols.len());
+        for &i in rows {
+            let row = self.row(i);
+            data.extend(cols.iter().map(|&j| row[j]));
+        }
+        DenseCost {
+            rows: rows.len(),
+            cols: cols.len(),
+            data,
+        }
+    }
+
+    /// Returns a copy with one extra column of constant cost appended.
+    pub fn with_extra_col(&self, value: u32) -> DenseCost {
+        let mut data = Vec::with_capacity(self.rows * (self.cols + 1));
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.push(value);
+        }
+        DenseCost {
+            rows: self.rows,
+            cols: self.cols + 1,
+            data,
+        }
+    }
+
+    /// Returns a copy with one extra row of constant cost appended.
+    pub fn with_extra_row(&self, value: u32) -> DenseCost {
+        let mut data = self.data.clone();
+        data.extend(std::iter::repeat(value).take(self.cols));
+        DenseCost {
+            rows: self.rows + 1,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// True if the matrix is a semimetric restricted to a square shape:
+    /// zero diagonal and triangle inequality (symmetry not required).
+    pub fn is_semimetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let n = self.rows;
+        for i in 0..n {
+            if self.at(i, i) != 0 {
+                return false;
+            }
+        }
+        for i in 0..n {
+            for k in 0..n {
+                let dik = self.at(i, k) as u64;
+                for j in 0..n {
+                    if dik + (self.at(k, j) as u64) < self.at(i, j) as u64 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// True if the matrix is a full metric: semimetric plus symmetry.
+    pub fn is_metric(&self) -> bool {
+        if !self.is_semimetric() {
+            return false;
+        }
+        let n = self.rows;
+        for i in 0..n {
+            for j in 0..n {
+                if self.at(i, j) != self.at(j, i) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_and_rows() {
+        let m = DenseCost::from_rows(&[&[1u32, 2, 3][..], &[4, 5, 6][..]]);
+        assert_eq!(m.at(0, 2), 3);
+        assert_eq!(m.at(1, 0), 4);
+        assert_eq!(m.row(1), &[4, 5, 6]);
+        assert_eq!(m.max_entry(), 6);
+    }
+
+    #[test]
+    fn submatrix_extraction() {
+        let m = DenseCost::from_rows(&[&[1u32, 2, 3][..], &[4, 5, 6][..], &[7, 8, 9][..]]);
+        let s = m.submatrix(&[0, 2], &[1]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 1);
+        assert_eq!(s.at(0, 0), 2);
+        assert_eq!(s.at(1, 0), 8);
+    }
+
+    #[test]
+    fn extra_row_col() {
+        let m = DenseCost::from_rows(&[&[1u32, 2][..]]);
+        let c = m.with_extra_col(0);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.at(0, 2), 0);
+        let r = m.with_extra_row(9);
+        assert_eq!(r.rows(), 2);
+        assert_eq!(r.at(1, 1), 9);
+    }
+
+    #[test]
+    fn metric_checks() {
+        let metric = DenseCost::from_rows(&[&[0u32, 1, 2][..], &[1, 0, 1][..], &[2, 1, 0][..]]);
+        assert!(metric.is_metric());
+        let asym = DenseCost::from_rows(&[&[0u32, 1][..], &[2, 0][..]]);
+        assert!(asym.is_semimetric());
+        assert!(!asym.is_metric());
+        let broken = DenseCost::from_rows(&[&[0u32, 10][..], &[10, 1][..]]);
+        assert!(!broken.is_semimetric()); // nonzero diagonal
+        let no_triangle =
+            DenseCost::from_rows(&[&[0u32, 1, 9][..], &[1, 0, 1][..], &[9, 1, 0][..]]);
+        assert!(!no_triangle.is_semimetric());
+    }
+}

@@ -1,0 +1,51 @@
+//! Model sensitivity (the §6.4 workflow at example scale): SND computed
+//! under the Independent Cascade with Competition ground distance separates
+//! ICC-driven transitions from random-activation transitions with the same
+//! number of changed users, while ℓ1 cannot.
+//!
+//! Run with `cargo run --release --example model_sensitivity`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use snd::baselines::{StateDistance, L1};
+use snd::core::{SndConfig, SndEngine};
+use snd::graph::generators::barabasi_albert;
+use snd::models::dynamics::{icc_step, random_activation_step, seed_initial_adopters};
+use snd::models::{GroundCostConfig, IccParams, SpreadingModel};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let graph = barabasi_albert(1200, 4, &mut rng);
+    let params = IccParams::default();
+
+    // Ground distance follows the ICC model itself.
+    let config = SndConfig::with_ground(GroundCostConfig::with_model(SpreadingModel::Icc(
+        params.clone(),
+    )));
+    let engine = SndEngine::new(&graph, config);
+
+    println!("{:>6} {:>10} {:>8}   kind", "n_delta", "SND", "l1");
+    for trial in 0..6 {
+        let start = seed_initial_adopters(1200, 80 + 20 * trial, &mut rng);
+        // Normal transition: one ICC round.
+        let normal = icc_step(&graph, &start, &params, &mut rng);
+        report(&engine, &start, &normal, "ICC (normal)");
+        // Anomalous transition: same activation volume, random placement.
+        let n_delta = start.diff_count(&normal);
+        let anomalous = random_activation_step(&graph, &start, n_delta, &mut rng);
+        report(&engine, &start, &anomalous, "random (anomalous)");
+    }
+    println!("\nSND under the ICC ground distance separates the two transition kinds;");
+    println!("l1 only tracks the (equal) number of changed users.");
+}
+
+fn report(
+    engine: &SndEngine,
+    from: &snd::models::NetworkState,
+    to: &snd::models::NetworkState,
+    kind: &str,
+) {
+    let snd = engine.distance(from, to);
+    let l1 = L1.distance(from, to);
+    println!("{:>6} {:>10.1} {:>8.0}   {kind}", from.diff_count(to), snd, l1);
+}

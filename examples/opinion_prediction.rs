@@ -1,0 +1,78 @@
+//! Opinion prediction (the §6.3 workflow at example scale): hide the
+//! opinions of a few active users in the current snapshot and recover them
+//! by matching the extrapolated SND trend.
+//!
+//! Run with `cargo run --release --example opinion_prediction`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use snd::analysis::{
+    accuracy, distance_based_prediction, extrapolate_linear, select_targets,
+};
+use snd::baselines::predict::{community_lp, detect_communities, nhood_voting};
+use snd::core::{OrderedSnd, SndConfig, SndEngine};
+use snd::data::{generate_series, SyntheticSeriesConfig};
+use snd::models::dynamics::VotingConfig;
+use snd::models::Opinion;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(23);
+    let config = SyntheticSeriesConfig {
+        nodes: 1500,
+        exponent: -2.5,
+        initial_adopters: 120,
+        steps: 5,
+        normal: VotingConfig::new(0.10, 0.02),
+        anomalous: VotingConfig::new(0.10, 0.02),
+        anomalous_steps: vec![],
+        chance_fraction: 0.12,
+        burn_in: 4,
+        seed: 5,
+    };
+    let series = generate_series(&config);
+    let states = &series.states;
+    let truth = states.last().unwrap().clone();
+
+    // Hide 20 target opinions in the current state.
+    let targets = select_targets(&truth, 20, &mut rng);
+    let mut known = truth.clone();
+    for &t in &targets {
+        known.set(t, Opinion::Neutral);
+    }
+
+    let engine = SndEngine::new(&series.graph, SndConfig::default());
+
+    // Extrapolate the recent SND trend (3 most recent complete states).
+    let t = states.len() - 1;
+    let d1 = engine.distance(&states[t - 3], &states[t - 2]);
+    let d2 = engine.distance(&states[t - 2], &states[t - 1]);
+    let d_star = extrapolate_linear(&[d1, d2]);
+    println!("recent SND distances: {d1:.2}, {d2:.2}  ->  d* = {d_star:.2}");
+
+    // Randomized assignment search with cached SSSP rows.
+    let ordered = OrderedSnd::new(&engine, states[t - 1].clone());
+    let predicted = distance_based_prediction(
+        |candidate| ordered.distance_to(candidate),
+        d_star,
+        &known,
+        &targets,
+        100,
+        &mut rng,
+    );
+    let snd_acc = accuracy(&predicted, &truth, &targets);
+    println!("SND-based prediction accuracy:      {:.1}%", 100.0 * snd_acc);
+    println!("(cached SSSP rows: {})", ordered.cached_rows());
+
+    // Baselines.
+    let nv = nhood_voting(&series.graph, &known, &targets, &mut rng);
+    println!(
+        "nhood-voting accuracy:              {:.1}%",
+        100.0 * accuracy(&nv, &truth, &targets)
+    );
+    let communities = detect_communities(&series.graph, &mut rng);
+    let lp = community_lp(&communities, &known, &targets, &mut rng);
+    println!(
+        "community-lp accuracy:              {:.1}%",
+        100.0 * accuracy(&lp, &truth, &targets)
+    );
+}

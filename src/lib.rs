@@ -1,0 +1,44 @@
+//! # snd — Social Network Distance
+//!
+//! A production-quality Rust implementation of *"A Distance Measure for the
+//! Analysis of Polar Opinion Dynamics in Social Networks"* (Amelkin, Singh,
+//! Bogdanov — ICDE 2017): the SND distance between snapshots of a social
+//! network with competing (+/−) opinions, its EMD\* transport core with
+//! local bank bins, exact linear-time-in-`n` computation, and the paper's
+//! full evaluation harness (anomaly detection, opinion prediction, model
+//! sensitivity, scalability).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`graph`] — CSR graphs, generators, shortest paths, clustering;
+//! * [`transport`] — exact transportation-problem solvers;
+//! * [`emd`] — the EMD family (classic, ÊMD, EMDα, EMD\*);
+//! * [`models`] — network states and opinion-dynamics ground costs;
+//! * [`core`] — the [`SndEngine`](core::SndEngine) itself;
+//! * [`baselines`] — competitor distances and predictors;
+//! * [`analysis`] — anomaly detection, ROC, prediction harness;
+//! * [`data`] — synthetic and simulated-Twitter workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use snd::core::{SndConfig, SndEngine};
+//! use snd::graph::generators::path_graph;
+//! use snd::models::NetworkState;
+//!
+//! let graph = path_graph(8);
+//! let engine = SndEngine::new(&graph, SndConfig::default());
+//! let before = NetworkState::from_values(&[1, 1, 0, 0, 0, 0, -1, -1]);
+//! let after = NetworkState::from_values(&[1, 1, 1, 0, 0, -1, -1, -1]);
+//! let d = engine.distance(&before, &after);
+//! assert!(d > 0.0);
+//! ```
+
+pub use snd_analysis as analysis;
+pub use snd_baselines as baselines;
+pub use snd_core as core;
+pub use snd_data as data;
+pub use snd_emd as emd;
+pub use snd_graph as graph;
+pub use snd_models as models;
+pub use snd_transport as transport;

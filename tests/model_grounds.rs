@@ -1,0 +1,113 @@
+//! Integration tests: SND under each of the three ground-distance models
+//! (§3) behaves according to that model's semantics.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use snd::core::{SndConfig, SndEngine};
+use snd::graph::generators::barabasi_albert;
+use snd::models::dynamics::{lt_step, random_activation_step, seed_initial_adopters};
+use snd::models::{
+    AgnosticPenalties, GroundCostConfig, IccParams, LtcParams, NetworkState, Opinion,
+    SpreadingModel,
+};
+
+fn engine_for(graph: &snd::graph::CsrGraph, model: SpreadingModel) -> SndEngine<'_> {
+    SndEngine::new(graph, SndConfig::with_ground(GroundCostConfig::with_model(model)))
+}
+
+#[test]
+fn agnostic_ground_prefers_friendly_paths() {
+    // A + activation reachable through friendly spreaders must be cheaper
+    // than one reachable only through the adverse camp.
+    let g = snd::graph::generators::path_graph(7);
+    // 0(+) - 1(+) - 2(0) - 3(0) - 4(-) - 5(-) - 6(0)
+    let base = NetworkState::from_values(&[1, 1, 0, 0, -1, -1, 0]);
+    let engine = engine_for(
+        &g,
+        SpreadingModel::Agnostic(AgnosticPenalties::default()),
+    );
+    let mut near_friendly = base.clone();
+    near_friendly.set(2, Opinion::Positive); // next to the + camp
+    let mut behind_adverse = base.clone();
+    behind_adverse.set(6, Opinion::Positive); // behind the − camp
+    let d_friendly = engine.distance(&base, &near_friendly);
+    let d_adverse = engine.distance(&base, &behind_adverse);
+    assert!(
+        d_adverse > 1.5 * d_friendly,
+        "adverse-path activation should cost much more: {d_adverse} vs {d_friendly}"
+    );
+}
+
+#[test]
+fn ltc_ground_separates_threshold_driven_from_random_transitions() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let g = barabasi_albert(600, 4, &mut rng);
+    let params = LtcParams {
+        thresholds: Some(vec![0.3; 600]),
+        ..Default::default()
+    };
+    let engine = engine_for(&g, SpreadingModel::Ltc(params.clone()));
+
+    let mut seps = 0;
+    let trials = 4;
+    for t in 0..trials {
+        let start = seed_initial_adopters(600, 60 + 10 * t, &mut rng);
+        let normal = lt_step(&g, &start, &params, &mut rng);
+        let nd = start.diff_count(&normal);
+        if nd == 0 {
+            continue;
+        }
+        let anomalous = random_activation_step(&g, &start, nd, &mut rng);
+        let d_normal = engine.distance(&start, &normal);
+        let d_anomalous = engine.distance(&start, &anomalous);
+        if d_anomalous > d_normal {
+            seps += 1;
+        }
+    }
+    assert!(
+        seps >= trials - 1,
+        "LTC-ground SND should rank random transitions farther in ≥{}/{trials} trials, got {seps}",
+        trials - 1
+    );
+}
+
+#[test]
+fn icc_ground_distance_is_model_specific() {
+    // The same pair of states gets different distances under different
+    // ground models — SND is explicitly model-parametric.
+    let mut rng = SmallRng::seed_from_u64(9);
+    let g = barabasi_albert(300, 3, &mut rng);
+    let a = seed_initial_adopters(300, 30, &mut rng);
+    let b = random_activation_step(&g, &a, 25, &mut rng);
+    let d_agnostic = engine_for(&g, SpreadingModel::Agnostic(AgnosticPenalties::default()))
+        .distance(&a, &b);
+    let d_icc = engine_for(&g, SpreadingModel::Icc(IccParams::default())).distance(&a, &b);
+    let d_ltc = engine_for(&g, SpreadingModel::Ltc(LtcParams::default())).distance(&a, &b);
+    assert!(d_agnostic > 0.0 && d_icc > 0.0 && d_ltc > 0.0);
+    assert!(
+        (d_agnostic - d_icc).abs() > 1e-6 || (d_agnostic - d_ltc).abs() > 1e-6,
+        "models should induce distinct distances: {d_agnostic} / {d_icc} / {d_ltc}"
+    );
+}
+
+#[test]
+fn quantization_bound_is_respected_for_every_model() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let g = barabasi_albert(200, 3, &mut rng);
+    let state = seed_initial_adopters(200, 20, &mut rng);
+    for model in [
+        SpreadingModel::Agnostic(AgnosticPenalties::default()),
+        SpreadingModel::Icc(IccParams::default()),
+        SpreadingModel::Ltc(LtcParams::default()),
+    ] {
+        let config = GroundCostConfig::with_model(model);
+        let u = config.max_edge_cost();
+        for op in [Opinion::Positive, Opinion::Negative] {
+            let costs = snd::models::edge_costs(&g, &state, op, &config);
+            assert!(
+                costs.iter().all(|&c| c >= 1 && c <= u),
+                "Assumption 2 violated: costs outside [1, {u}]"
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of SND's core guarantees, spanning crates.
+
+use proptest::prelude::*;
+use snd::core::{ClusterSpec, SndConfig, SndEngine};
+use snd::graph::generators::erdos_renyi_gnp;
+use snd::models::NetworkState;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_state(n: usize) -> impl Strategy<Value = NetworkState> {
+    proptest::collection::vec(-1i8..=1, n).prop_map(|v| NetworkState::from_values(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Theorem 4 sparse path must equal the dense reference exactly
+    /// (up to fixed-point rounding) in per-bin bank mode.
+    #[test]
+    fn sparse_equals_dense_per_bin(
+        seed in 0u64..500,
+        a in arb_state(14),
+        b in arb_state(14),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi_gnp(14, 0.3, true, &mut rng);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let sparse = engine.distance(&a, &b);
+        let dense = engine.distance_dense(&a, &b);
+        prop_assert!((sparse - dense).abs() < 1e-6,
+            "sparse {sparse} vs dense {dense}");
+    }
+
+    /// Cluster-bank mode: the coarse extended ground distance is not a true
+    /// semimetric (min-pair inter-cluster distances need not compose), so
+    /// the Lemma 2 reduction may over-constrain slightly. The contract is:
+    /// never below the dense optimum, and within a small factor of it.
+    #[test]
+    fn sparse_bounds_dense_cluster_mode(
+        seed in 0u64..500,
+        a in arb_state(12),
+        b in arb_state(12),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi_gnp(12, 0.35, true, &mut rng);
+        let config = SndConfig {
+            clusters: ClusterSpec::BfsPartition { clusters: 3 },
+            ..Default::default()
+        };
+        let engine = SndEngine::new(&g, config);
+        let sparse = engine.distance(&a, &b);
+        let dense = engine.distance_dense(&a, &b);
+        prop_assert!(sparse >= dense - 1e-6,
+            "reduction cannot beat the full problem: sparse {sparse} vs dense {dense}");
+        prop_assert!(sparse <= dense * 1.2 + 1e-6,
+            "reduction should stay close: sparse {sparse} vs dense {dense}");
+    }
+
+    /// SND axioms: non-negativity, identity, symmetry.
+    #[test]
+    fn snd_axioms(
+        seed in 0u64..500,
+        a in arb_state(12),
+        b in arb_state(12),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi_gnp(12, 0.3, true, &mut rng);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let ab = engine.distance(&a, &b);
+        let ba = engine.distance(&b, &a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry: {ab} vs {ba}");
+        prop_assert_eq!(engine.distance(&a, &a), 0.0);
+        if a != b {
+            prop_assert!(ab > 0.0, "distinct states at distance zero");
+        }
+    }
+
+    /// All three transportation solvers must produce the same SND value.
+    #[test]
+    fn solver_independence(
+        seed in 0u64..200,
+        a in arb_state(10),
+        b in arb_state(10),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi_gnp(10, 0.4, true, &mut rng);
+        use snd::transport::Solver;
+        let values: Vec<f64> = [Solver::Simplex, Solver::Ssp, Solver::CostScaling]
+            .into_iter()
+            .map(|solver| {
+                let config = SndConfig { solver, ..Default::default() };
+                SndEngine::new(&g, config).distance(&a, &b)
+            })
+            .collect();
+        prop_assert!((values[0] - values[1]).abs() < 1e-9, "simplex vs ssp: {values:?}");
+        prop_assert!((values[0] - values[2]).abs() < 1e-9, "simplex vs cost-scaling: {values:?}");
+    }
+}

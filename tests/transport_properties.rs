@@ -1,0 +1,91 @@
+//! Property-based cross-validation of the three transportation solvers.
+
+use proptest::prelude::*;
+use snd::transport::{solve_balanced, solve_unbalanced, verify_feasible, DenseCost, Solver};
+
+fn balanced_instance(
+    m: usize,
+    n: usize,
+    raw_s: &[u64],
+    raw_d: &[u64],
+    raw_c: &[u32],
+) -> (Vec<u64>, Vec<u64>, DenseCost) {
+    let mut supplies: Vec<u64> = raw_s[..m].to_vec();
+    let mut demands: Vec<u64> = raw_d[..n].to_vec();
+    let (ts, td): (u64, u64) = (supplies.iter().sum(), demands.iter().sum());
+    if ts > td {
+        demands[n - 1] += ts - td;
+    } else {
+        supplies[m - 1] += td - ts;
+    }
+    let cost = DenseCost::from_vec(m, n, raw_c[..m * n].to_vec());
+    (supplies, demands, cost)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All three solvers find plans with the same optimal cost, and every
+    /// plan is feasible.
+    #[test]
+    fn solvers_agree_and_are_feasible(
+        m in 1usize..7,
+        n in 1usize..7,
+        raw_s in proptest::collection::vec(0u64..40, 7),
+        raw_d in proptest::collection::vec(0u64..40, 7),
+        raw_c in proptest::collection::vec(0u32..100, 49),
+    ) {
+        let (supplies, demands, cost) = balanced_instance(m, n, &raw_s, &raw_d, &raw_c);
+        let reference = solve_balanced(&supplies, &demands, &cost, Solver::Ssp);
+        verify_feasible(&reference, &supplies, &demands, &cost).unwrap();
+        for solver in [Solver::Simplex, Solver::CostScaling] {
+            let plan = solve_balanced(&supplies, &demands, &cost, solver);
+            verify_feasible(&plan, &supplies, &demands, &cost).unwrap();
+            prop_assert_eq!(plan.total_cost, reference.total_cost, "{:?}", solver);
+        }
+    }
+
+    /// Unbalanced solves move exactly min(ΣP, ΣQ) mass and never exceed the
+    /// balanced-equivalent cost structure.
+    #[test]
+    fn unbalanced_moves_min_mass(
+        m in 1usize..6,
+        n in 1usize..6,
+        raw_s in proptest::collection::vec(1u64..30, 6),
+        raw_d in proptest::collection::vec(1u64..30, 6),
+        raw_c in proptest::collection::vec(0u32..50, 36),
+    ) {
+        let supplies: Vec<u64> = raw_s[..m].to_vec();
+        let demands: Vec<u64> = raw_d[..n].to_vec();
+        let cost = DenseCost::from_vec(m, n, raw_c[..m * n].to_vec());
+        let plan = solve_unbalanced(&supplies, &demands, &cost, Solver::Simplex);
+        let expect = supplies.iter().sum::<u64>().min(demands.iter().sum::<u64>());
+        prop_assert_eq!(plan.total_flow, expect);
+        prop_assert!(plan.total_cost >= 0);
+    }
+
+    /// Optimality sanity: the optimum never exceeds the cost of the
+    /// proportional (outer-product) feasible plan.
+    #[test]
+    fn optimum_beats_proportional_plan(
+        m in 1usize..6,
+        n in 1usize..6,
+        raw_s in proptest::collection::vec(1u64..20, 6),
+        raw_d in proptest::collection::vec(1u64..20, 6),
+        raw_c in proptest::collection::vec(0u32..50, 36),
+    ) {
+        let (supplies, demands, cost) = balanced_instance(m, n, &raw_s, &raw_d, &raw_c);
+        let total: u128 = supplies.iter().map(|&s| s as u128).sum();
+        // Proportional plan cost (fractional, so compare in f64).
+        let mut proportional = 0.0f64;
+        for i in 0..m {
+            for j in 0..n {
+                let f = supplies[i] as f64 * demands[j] as f64 / total as f64;
+                proportional += f * cost.at(i, j) as f64;
+            }
+        }
+        let plan = solve_balanced(&supplies, &demands, &cost, Solver::Simplex);
+        prop_assert!(plan.total_cost as f64 <= proportional + 1e-6,
+            "optimum {} exceeds proportional {proportional}", plan.total_cost);
+    }
+}
