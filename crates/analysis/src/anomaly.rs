@@ -20,6 +20,17 @@ pub fn anomaly_scores(distances: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Anomaly scores straight from a batch all-pairs matrix over the series'
+/// snapshots: superdiagonal distances → standard normalization → spike
+/// scores. The one-call path for workloads driven by
+/// `SndEngine::pairwise_distances`.
+pub fn anomaly_scores_from_matrix(
+    matrix: &snd_core::DistanceMatrix,
+    states: &[snd_models::NetworkState],
+) -> Vec<f64> {
+    anomaly_scores(&crate::series::processed_adjacent(matrix, states))
+}
+
 /// Indices of the `k` highest-scoring transitions, in decreasing score
 /// order (stable on ties by index).
 pub fn top_k_anomalies(scores: &[f64], k: usize) -> Vec<usize> {

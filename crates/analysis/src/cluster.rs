@@ -10,18 +10,11 @@ use snd_baselines::StateDistance;
 use snd_models::NetworkState;
 
 /// Symmetric pairwise distance matrix over a set of states (row-major,
-/// `states.len()²`). Computes only the upper triangle and mirrors it.
+/// `states.len()²`). Delegates to the measure's batch path
+/// ([`StateDistance::pairwise`]) — for SND that is the cached, parallel
+/// all-pairs pipeline of `SndEngine::pairwise_distances`.
 pub fn pairwise_distances<D: StateDistance>(dist: &D, states: &[NetworkState]) -> Vec<Vec<f64>> {
-    let k = states.len();
-    let mut m = vec![vec![0.0; k]; k];
-    for i in 0..k {
-        for j in (i + 1)..k {
-            let d = dist.distance(&states[i], &states[j]);
-            m[i][j] = d;
-            m[j][i] = d;
-        }
-    }
-    m
+    dist.pairwise(states)
 }
 
 /// Result of k-medoids clustering.
@@ -54,13 +47,17 @@ pub fn k_medoids(distances: &[Vec<f64>], k: usize, max_iters: usize) -> MedoidCl
         .unwrap_or(0);
     let mut medoids = vec![first];
     while medoids.len() < k {
-        let next = (0..n)
-            .filter(|i| !medoids.contains(i))
-            .max_by(|&a, &b| {
-                let da = medoids.iter().map(|&m| distances[a][m]).fold(f64::INFINITY, f64::min);
-                let db = medoids.iter().map(|&m| distances[b][m]).fold(f64::INFINITY, f64::min);
-                da.partial_cmp(&db).unwrap()
-            });
+        let next = (0..n).filter(|i| !medoids.contains(i)).max_by(|&a, &b| {
+            let da = medoids
+                .iter()
+                .map(|&m| distances[a][m])
+                .fold(f64::INFINITY, f64::min);
+            let db = medoids
+                .iter()
+                .map(|&m| distances[b][m])
+                .fold(f64::INFINITY, f64::min);
+            da.partial_cmp(&db).unwrap()
+        });
         match next {
             Some(i) => medoids.push(i),
             None => break,
@@ -153,10 +150,10 @@ mod tests {
     fn pairwise_matrix_is_symmetric_with_zero_diagonal() {
         let states = vec![state(&[1, 0, 0]), state(&[0, 1, 0]), state(&[1, 1, 0])];
         let m = pairwise_distances(&Hamming, &states);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
             }
         }
         assert_eq!(m[0][1], 2.0);
@@ -189,11 +186,7 @@ mod tests {
 
     #[test]
     fn k_medoids_single_cluster_minimizes_total_distance() {
-        let states = vec![
-            state(&[1, 0, 0]),
-            state(&[1, 1, 0]),
-            state(&[1, 1, 1]),
-        ];
+        let states = vec![state(&[1, 0, 0]), state(&[1, 1, 0]), state(&[1, 1, 1])];
         let m = pairwise_distances(&Hamming, &states);
         let clustering = k_medoids(&m, 1, 10);
         // The middle state is the 1-medoid optimum (total distance 2).
@@ -211,8 +204,7 @@ mod tests {
         let label = classify_1nn(&Hamming, &exemplars, &query).unwrap();
         assert_eq!(label, "positive-camp");
 
-        let haystack: Vec<NetworkState> =
-            exemplars.iter().map(|(s, _)| s.clone()).collect();
+        let haystack: Vec<NetworkState> = exemplars.iter().map(|(s, _)| s.clone()).collect();
         let (idx, d) = nearest_neighbor(&Hamming, &haystack, &query).unwrap();
         assert_eq!(idx, 0);
         assert_eq!(d, 1.0);

@@ -23,11 +23,14 @@ pub mod roc;
 pub mod series;
 pub mod snd_distance;
 
-pub use anomaly::{anomaly_scores, top_k_anomalies};
-pub use cluster::{classify_1nn, k_medoids, nearest_neighbor, pairwise_distances, MedoidClustering};
+pub use anomaly::{anomaly_scores, anomaly_scores_from_matrix, top_k_anomalies};
+pub use cluster::{
+    classify_1nn, k_medoids, nearest_neighbor, pairwise_distances, MedoidClustering,
+};
 pub use predict::{
-    accuracy, distance_based_prediction, extrapolate_linear, select_targets, SummaryStats,
+    accuracy, distance_based_prediction, distance_based_prediction_batch, extrapolate_linear,
+    select_targets, SummaryStats,
 };
 pub use roc::{auc, roc_curve, tpr_at_fpr, RocPoint};
-pub use series::{normalize_by_activity, normalize_by_change, scale_to_unit};
+pub use series::{normalize_by_activity, normalize_by_change, processed_adjacent, scale_to_unit};
 pub use snd_distance::SndDistance;

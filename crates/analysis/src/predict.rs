@@ -105,6 +105,58 @@ where
     best.expect("candidates > 0").1
 }
 
+/// Batch variant of [`distance_based_prediction`]: all candidate
+/// assignments are drawn up front (same RNG stream as the sequential
+/// search), materialized, and priced in one call — so a batch-capable
+/// evaluator (e.g. `OrderedSnd::distances_to`, which fans candidates out
+/// over the thread pool against one shared row cache) scores the whole
+/// search in parallel. Returns exactly the assignment the sequential
+/// search would pick.
+pub fn distance_based_prediction_batch<F, R>(
+    eval_batch: F,
+    d_star: f64,
+    known: &NetworkState,
+    targets: &[NodeId],
+    candidates: usize,
+    rng: &mut R,
+) -> Vec<Opinion>
+where
+    F: FnOnce(&[NetworkState]) -> Vec<f64>,
+    R: Rng,
+{
+    assert!(candidates > 0, "need at least one candidate");
+    let assignments: Vec<Vec<Opinion>> = (0..candidates)
+        .map(|_| targets.iter().map(|_| random_opinion(rng)).collect())
+        .collect();
+    let states: Vec<NetworkState> = assignments
+        .iter()
+        .map(|assignment| {
+            let mut s = known.clone();
+            for (&t, &op) in targets.iter().zip(assignment) {
+                s.set(t, op);
+            }
+            s
+        })
+        .collect();
+    let distances = eval_batch(&states);
+    assert_eq!(distances.len(), candidates, "one distance per candidate");
+    let best = distances
+        .iter()
+        .map(|d| (d - d_star).abs())
+        .enumerate()
+        // A candidate replaces the incumbent only on a strictly smaller
+        // gap — the sequential search's exact rule (earliest minimum wins,
+        // NaN gaps never displace the incumbent).
+        .fold(None::<(usize, f64)>, |best, (i, gap)| match best {
+            Some((_, g)) if gap < g => Some((i, gap)),
+            None => Some((i, gap)),
+            _ => best,
+        })
+        .expect("candidates > 0")
+        .0;
+    assignments.into_iter().nth(best).expect("index in range")
+}
+
 /// Fraction of targets predicted correctly against the true state.
 pub fn accuracy(predicted: &[Opinion], truth: &NetworkState, targets: &[NodeId]) -> f64 {
     assert_eq!(predicted.len(), targets.len(), "one prediction per target");
@@ -198,6 +250,31 @@ mod tests {
         let eval = |s: &NetworkState| s.diff_count(&truth) as f64;
         let predicted = distance_based_prediction(eval, 0.0, &known, &targets, 200, &mut rng);
         assert_eq!(accuracy(&predicted, &truth, &targets), 1.0);
+    }
+
+    #[test]
+    fn batch_prediction_matches_sequential_search() {
+        // Same seed, same evaluator => identical chosen assignment.
+        let truth = NetworkState::from_values(&[1, -1, 1, 0, 0, -1]);
+        let targets = vec![0u32, 1, 2, 5];
+        let mut known = truth.clone();
+        for &t in &targets {
+            known.set(t, Opinion::Neutral);
+        }
+        let eval = |s: &NetworkState| s.diff_count(&truth) as f64;
+        let d_star = 1.5;
+        let mut rng_a = SmallRng::seed_from_u64(11);
+        let sequential = distance_based_prediction(eval, d_star, &known, &targets, 40, &mut rng_a);
+        let mut rng_b = SmallRng::seed_from_u64(11);
+        let batch = distance_based_prediction_batch(
+            |states| states.iter().map(eval).collect(),
+            d_star,
+            &known,
+            &targets,
+            40,
+            &mut rng_b,
+        );
+        assert_eq!(sequential, batch);
     }
 
     #[test]

@@ -70,6 +70,15 @@ pub fn processed_series(distances: &[f64], states: &[NetworkState]) -> Vec<f64> 
     scale_to_unit(&normalize_by_change(distances, states))
 }
 
+/// Processed series straight from a batch all-pairs matrix: reads the
+/// adjacent-transition distances off the superdiagonal and applies the
+/// standard normalization. Lets workloads that already priced the full
+/// matrix (clustering + anomaly detection over the same snapshots) reuse
+/// it instead of recomputing the series.
+pub fn processed_adjacent(matrix: &snd_core::DistanceMatrix, states: &[NetworkState]) -> Vec<f64> {
+    processed_series(&matrix.adjacent(), states)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,6 +30,18 @@ impl StateDistance for SndDistance<'_, '_> {
     fn name(&self) -> &'static str {
         "SND"
     }
+
+    /// Batch override: the cached, parallel all-pairs pipeline (geometry
+    /// once per state, SSSP rows shared across the whole matrix).
+    fn pairwise(&self, states: &[NetworkState]) -> Vec<Vec<f64>> {
+        self.engine.pairwise_distances(states).to_rows()
+    }
+
+    /// Batch override: parallel series evaluation with per-state geometry
+    /// shared between adjacent transitions.
+    fn series(&self, states: &[NetworkState]) -> Vec<f64> {
+        self.engine.series_distances(states)
+    }
 }
 
 #[cfg(test)]
@@ -37,6 +49,29 @@ mod tests {
     use super::*;
     use snd_core::SndConfig;
     use snd_graph::generators::path_graph;
+
+    #[test]
+    fn batch_overrides_match_pair_at_a_time_evaluation() {
+        let g = path_graph(7);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let dist = SndDistance::new(&engine);
+        let states = vec![
+            NetworkState::from_values(&[1, 0, 0, 0, 0, 0, -1]),
+            NetworkState::from_values(&[1, 1, 0, 0, 0, -1, -1]),
+            NetworkState::from_values(&[0, 1, 1, 0, -1, -1, 0]),
+        ];
+        let batch = dist.pairwise(&states);
+        for i in 0..states.len() {
+            for j in 0..states.len() {
+                assert_eq!(batch[i][j], engine.distance(&states[i], &states[j]));
+            }
+        }
+        let series = dist.series(&states);
+        assert_eq!(series.len(), 2);
+        for (t, &d) in series.iter().enumerate() {
+            assert_eq!(d, engine.distance(&states[t], &states[t + 1]));
+        }
+    }
 
     #[test]
     fn adapter_delegates_to_engine() {

@@ -10,6 +10,35 @@ pub trait StateDistance {
 
     /// Short display name used in experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Symmetric all-pairs matrix over a snapshot set (row-major nested
+    /// rows, zero diagonal). The default evaluates each pair
+    /// independently; measures with shareable per-state work override this
+    /// with a batch path (SND computes geometry once per state and shares
+    /// SSSP rows across the whole matrix).
+    fn pairwise(&self, states: &[NetworkState]) -> Vec<Vec<f64>> {
+        let k = states.len();
+        let mut m = vec![vec![0.0; k]; k];
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let d = self.distance(&states[i], &states[j]);
+                m[i][j] = d;
+                m[j][i] = d;
+            }
+        }
+        m
+    }
+
+    /// Adjacent-transition distances `d(G_t, G_{t+1})` over a series
+    /// (`states.len() − 1` values). Measures with shareable per-state work
+    /// override this (SND shares each state's geometry between the two
+    /// transitions it participates in).
+    fn series(&self, states: &[NetworkState]) -> Vec<f64> {
+        states
+            .windows(2)
+            .map(|w| self.distance(&w[0], &w[1]))
+            .collect()
+    }
 }
 
 /// Hamming distance: the number of users whose opinion differs.

@@ -20,4 +20,4 @@
 pub mod distances;
 pub mod predict;
 
-pub use distances::{Hamming, L1, QuadForm, StateDistance, WalkDist};
+pub use distances::{Hamming, QuadForm, StateDistance, WalkDist, L1};

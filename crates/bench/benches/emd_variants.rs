@@ -19,7 +19,9 @@ fn line_metric(n: usize) -> DenseCost {
 
 fn line_geometry(n: usize, clusters: usize, gamma: u32) -> StarGeometry {
     let size = n / clusters;
-    let labels: Vec<u32> = (0..n).map(|i| ((i / size).min(clusters - 1)) as u32).collect();
+    let labels: Vec<u32> = (0..n)
+        .map(|i| ((i / size).min(clusters - 1)) as u32)
+        .collect();
     let mut inter = DenseCost::filled(clusters, clusters, 0);
     for c in 0..clusters {
         for c2 in 0..clusters {
@@ -46,9 +48,7 @@ fn bench_variants(c: &mut Criterion) {
     let gamma = d.max_entry();
 
     let mut group = c.benchmark_group("emd_variants");
-    group.bench_function("classic", |b| {
-        b.iter(|| emd(&p, &q, &d, Solver::Simplex))
-    });
+    group.bench_function("classic", |b| b.iter(|| emd(&p, &q, &d, Solver::Simplex)));
     group.bench_function("hat", |b| {
         b.iter(|| emd_hat(&p, &q, &d, gamma, Solver::Simplex))
     });
@@ -57,11 +57,9 @@ fn bench_variants(c: &mut Criterion) {
     });
     for &clusters in &[1usize, 4, 16] {
         let geom = line_geometry(n, clusters, gamma);
-        group.bench_with_input(
-            BenchmarkId::new("star", clusters),
-            &clusters,
-            |b, _| b.iter(|| emd_star(&p, &q, &d, &geom, Solver::Simplex)),
-        );
+        group.bench_with_input(BenchmarkId::new("star", clusters), &clusters, |b, _| {
+            b.iter(|| emd_star(&p, &q, &d, &geom, Solver::Simplex))
+        });
     }
     group.finish();
 }

@@ -33,11 +33,9 @@ fn bench_solvers(c: &mut Criterion) {
             if size > 150 && solver != Solver::Simplex {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(name, size),
-                &size,
-                |b, _| b.iter(|| solve_balanced(&s, &d, &cost, solver)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
+                b.iter(|| solve_balanced(&s, &d, &cost, solver))
+            });
         }
     }
     group.finish();

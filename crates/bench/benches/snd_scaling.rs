@@ -96,5 +96,10 @@ fn bench_cluster_count(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling_n, bench_scaling_ndelta, bench_cluster_count);
+criterion_group!(
+    benches,
+    bench_scaling_n,
+    bench_scaling_ndelta,
+    bench_cluster_count
+);
 criterion_main!(benches);

@@ -36,10 +36,7 @@ fn main() {
     )));
     let engine = SndEngine::new(&graph, config);
 
-    println!(
-        "{:>8} {:>12} {:>8}   kind",
-        "n_delta", "SND", "l1"
-    );
+    println!("{:>8} {:>12} {:>8}   kind", "n_delta", "SND", "l1");
     let mut normal_points = Vec::new();
     let mut anomalous_points = Vec::new();
     for trial in 0..pairs {

@@ -19,7 +19,9 @@ fn main() {
     let args = Args::from_env();
     let ndelta = args.get("--ndelta", 1000usize);
     let sizes: Vec<usize> = if args.flag("--paper") {
-        vec![1_000, 2_000, 3_000, 4_000, 5_000, 10_000, 30_000, 50_000, 70_000, 90_000, 200_000]
+        vec![
+            1_000, 2_000, 3_000, 4_000, 5_000, 10_000, 30_000, 50_000, 70_000, 90_000, 200_000,
+        ]
     } else {
         vec![1_000, 2_000, 3_000, 5_000, 10_000, 20_000, 50_000]
     };
@@ -59,11 +61,7 @@ fn main() {
 }
 
 /// Builds a state pair differing in exactly `ndelta` users.
-fn states_with_ndelta(
-    n: usize,
-    ndelta: usize,
-    rng: &mut SmallRng,
-) -> (NetworkState, NetworkState) {
+fn states_with_ndelta(n: usize, ndelta: usize, rng: &mut SmallRng) -> (NetworkState, NetworkState) {
     let a = seed_initial_adopters(n, 2 * ndelta, rng);
     let mut b = a.clone();
     let mut changed = 0usize;

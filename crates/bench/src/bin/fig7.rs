@@ -84,10 +84,5 @@ fn main() {
 }
 
 fn baseline<D: StateDistance>(dist: &D, series: &SyntheticSeries) -> Vec<f64> {
-    let raw: Vec<f64> = series
-        .states
-        .windows(2)
-        .map(|w| dist.distance(&w[0], &w[1]))
-        .collect();
-    processed_series(&raw, &series.states)
+    processed_series(&dist.series(&series.states), &series.states)
 }

@@ -11,6 +11,8 @@
 //!
 //! `cargo run -p snd-bench --release --bin fig8 [--paper | --nodes N --steps S --series K]`
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use snd_analysis::series::processed_series;
 use snd_analysis::{anomaly_scores, auc, roc_curve, tpr_at_fpr};
 use snd_baselines::{Hamming, QuadForm, StateDistance, WalkDist};
@@ -18,8 +20,6 @@ use snd_bench::harness::{banner, timed, Args};
 use snd_core::{SndConfig, SndEngine};
 use snd_data::{generate_series, SyntheticSeries, SyntheticSeriesConfig};
 use snd_models::dynamics::VotingConfig;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let args = Args::from_env();
@@ -118,10 +118,5 @@ fn main() {
 }
 
 fn baseline<D: StateDistance>(dist: &D, series: &SyntheticSeries) -> Vec<f64> {
-    let raw: Vec<f64> = series
-        .states
-        .windows(2)
-        .map(|w| dist.distance(&w[0], &w[1]))
-        .collect();
-    processed_series(&raw, &series.states)
+    processed_series(&dist.series(&series.states), &series.states)
 }

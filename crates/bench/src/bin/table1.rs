@@ -12,7 +12,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use snd_analysis::{
-    accuracy, distance_based_prediction, extrapolate_linear, select_targets, SummaryStats,
+    accuracy, distance_based_prediction, distance_based_prediction_batch, extrapolate_linear,
+    select_targets, SummaryStats,
 };
 use snd_baselines::predict::{community_lp, detect_communities, nhood_voting};
 use snd_baselines::{Hamming, QuadForm, StateDistance, WalkDist};
@@ -130,8 +131,11 @@ fn run_dataset(
             known.set(u, Opinion::Neutral);
         }
 
-        let snd_pred = distance_based_prediction(
-            |c| anchored.distance_to(c),
+        // Batch search: the whole candidate set is priced in parallel
+        // against the anchored state's shared row cache; same result as
+        // the sequential search under the same RNG stream.
+        let snd_pred = distance_based_prediction_batch(
+            |candidates| anchored.distances_to(candidates),
             snd_dstar,
             &known,
             &targets,

@@ -106,14 +106,8 @@ pub fn anomaly(args: &[String]) -> Result<(), String> {
     let engine = SndEngine::new(&graph, SndConfig::default());
     let processed = processed_series(&engine.series_distances(&states), &states);
     let scores = anomaly_scores(&processed);
-    let k = opt(args, "--top").unwrap_or_else(|| {
-        dataset
-            .labels
-            .iter()
-            .filter(|&&l| l)
-            .count()
-            .max(1)
-    });
+    let k =
+        opt(args, "--top").unwrap_or_else(|| dataset.labels.iter().filter(|&&l| l).count().max(1));
     println!("{:>4} {:>10} {:>10}  label", "t", "SND", "score");
     for t in 0..processed.len() {
         let label = dataset.labels.get(t).copied().unwrap_or(false);

@@ -1,12 +1,16 @@
 //! On-disk dataset format: a network plus a series of states, as JSON.
+//!
+//! The encoder/decoder is hand-rolled (the build environment has no serde):
+//! the format is plain JSON — `{"nodes": N, "edges": [[u, v], ...],
+//! "states": [[1, 0, -1, ...], ...], "labels": [true, ...]}` — and the
+//! parser accepts arbitrary whitespace and field order, so files written by
+//! serde-based tools remain readable.
 
-use serde::{Deserialize, Serialize};
 use snd_graph::CsrGraph;
 use snd_models::NetworkState;
 
 /// Serialized dataset: a graph, a state series, and optional anomaly
 /// labels.
-#[derive(Serialize, Deserialize)]
 pub struct Dataset {
     /// Number of users.
     pub nodes: usize,
@@ -15,7 +19,6 @@ pub struct Dataset {
     /// Opinion series in ±1/0 encoding, one vector per state.
     pub states: Vec<Vec<i8>>,
     /// Per-transition anomaly labels (may be empty).
-    #[serde(default)]
     pub labels: Vec<bool>,
 }
 
@@ -36,12 +39,290 @@ impl Dataset {
     /// Reads a dataset from a JSON file.
     pub fn load(path: &str) -> Result<Self, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+        Self::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
     }
 
     /// Writes the dataset to a JSON file.
     pub fn save(&self, path: &str) -> Result<(), String> {
-        let text = serde_json::to_string(self).map_err(|e| e.to_string())?;
-        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+        std::fs::write(path, self.to_json()).map_err(|e| format!("writing {path}: {e}"))
+    }
+
+    /// Encodes to the JSON wire format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.edges.len() * 10);
+        out.push_str("{\"nodes\":");
+        out.push_str(&self.nodes.to_string());
+        out.push_str(",\"edges\":[");
+        for (i, (u, v)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{u},{v}]"));
+        }
+        out.push_str("],\"states\":[");
+        for (i, state) in self.states.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, v) in state.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v.to_string());
+            }
+            out.push(']');
+        }
+        out.push_str("],\"labels\":[");
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(if *l { "true" } else { "false" });
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decodes the JSON wire format.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut p = Parser::new(text);
+        let mut nodes: Option<usize> = None;
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut states: Vec<Vec<i8>> = Vec::new();
+        let mut labels: Vec<bool> = Vec::new();
+
+        p.expect('{')?;
+        if !p.peek_is('}') {
+            loop {
+                let key = p.string()?;
+                p.expect(':')?;
+                match key.as_str() {
+                    "nodes" => {
+                        let v = p.integer()?;
+                        nodes =
+                            Some(usize::try_from(v).map_err(|_| format!("bad node count {v}"))?);
+                    }
+                    "edges" => {
+                        edges = p.array(|p| {
+                            p.expect('[')?;
+                            let u = p.integer()?;
+                            p.expect(',')?;
+                            let v = p.integer()?;
+                            p.expect(']')?;
+                            let as_node = |x: i64| -> Result<u32, String> {
+                                u32::try_from(x).map_err(|_| format!("bad node id {x}"))
+                            };
+                            Ok((as_node(u)?, as_node(v)?))
+                        })?;
+                    }
+                    "states" => {
+                        states = p.array(|p| {
+                            p.array(|p| {
+                                let v = p.integer()?;
+                                i8::try_from(v).map_err(|_| format!("bad opinion value {v}"))
+                            })
+                        })?;
+                    }
+                    "labels" => labels = p.array(|p| p.boolean())?,
+                    other => return Err(format!("unknown field {other:?}")),
+                }
+                if p.peek_is(',') {
+                    p.expect(',')?;
+                } else {
+                    break;
+                }
+            }
+        }
+        p.expect('}')?;
+        p.end()?;
+
+        let nodes = nodes.ok_or("missing field \"nodes\"")?;
+        for &(u, v) in &edges {
+            if u as usize >= nodes || v as usize >= nodes {
+                return Err(format!("edge ({u}, {v}) out of range for {nodes} nodes"));
+            }
+        }
+        for s in &states {
+            if s.len() != nodes {
+                return Err(format!("state of length {} for {nodes} nodes", s.len()));
+            }
+        }
+        Ok(Dataset {
+            nodes,
+            edges,
+            states,
+            labels,
+        })
+    }
+}
+
+/// Minimal recursive-descent JSON reader for the dataset's fixed shape.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&(c as u8))
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(&b) if b == c as u8 => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(format!(
+                "expected {c:?} at byte {}, found {:?}",
+                self.pos,
+                got.map(|&b| b as char)
+            )),
+        }
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing data at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+                if s.contains('\\') {
+                    return Err("escaped strings are not supported".into());
+                }
+                self.pos += 1;
+                return Ok(s.to_string());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn integer(&mut self) -> Result<i64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse()
+            .map_err(|_| format!("expected integer at byte {start}"))
+    }
+
+    fn boolean(&mut self) -> Result<bool, String> {
+        self.skip_ws();
+        for (lit, value) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                return Ok(value);
+            }
+        }
+        Err(format!("expected boolean at byte {}", self.pos))
+    }
+
+    fn array<T>(
+        &mut self,
+        mut element: impl FnMut(&mut Self) -> Result<T, String>,
+    ) -> Result<Vec<T>, String> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        if self.peek_is(']') {
+            self.expect(']')?;
+            return Ok(out);
+        }
+        loop {
+            out.push(element(self)?);
+            if self.peek_is(',') {
+                self.expect(',')?;
+            } else {
+                break;
+            }
+        }
+        self.expect(']')?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset {
+            nodes: 3,
+            edges: vec![(0, 1), (1, 2)],
+            states: vec![vec![1, 0, -1], vec![0, 0, 1]],
+            labels: vec![true],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = sample();
+        let back = Dataset::from_json(&d.to_json()).unwrap();
+        assert_eq!(back.nodes, d.nodes);
+        assert_eq!(back.edges, d.edges);
+        assert_eq!(back.states, d.states);
+        assert_eq!(back.labels, d.labels);
+    }
+
+    #[test]
+    fn whitespace_and_field_order_are_flexible() {
+        let text = r#" { "states" : [ [ 1 , -1 ] ] ,
+                        "edges" : [ [ 0 , 1 ] ] , "nodes" : 2 } "#;
+        let d = Dataset::from_json(text).unwrap();
+        assert_eq!(d.nodes, 2);
+        assert_eq!(d.states, vec![vec![1, -1]]);
+        assert!(d.labels.is_empty(), "labels default to empty");
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(Dataset::from_json("{").is_err());
+        assert!(Dataset::from_json(r#"{"nodes":2,"edges":[[0,5]]}"#).is_err());
+        assert!(Dataset::from_json(r#"{"nodes":2,"states":[[1]]}"#).is_err());
+        assert!(Dataset::from_json(r#"{"mystery":1}"#).is_err());
+    }
+
+    #[test]
+    fn graph_and_states_materialize() {
+        let d = sample();
+        let g = d.graph();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(d.network_states().len(), 2);
     }
 }

@@ -8,7 +8,9 @@
 //! across comparisons ([`crate::SndEngine::series_distances`],
 //! [`crate::OrderedSnd`]).
 
-use snd_graph::{dial, dial_reverse, Clustering, CsrGraph, UNREACHABLE};
+use snd_graph::{
+    dial_reverse_scratch, dial_scratch, Clustering, CsrGraph, SsspScratch, UNREACHABLE,
+};
 use snd_models::{edge_costs, NetworkState, Opinion};
 use snd_transport::DenseCost;
 
@@ -79,18 +81,35 @@ pub fn compute_geometry(
         };
     }
 
+    // One scratch serves every SSSP this geometry needs (inter-cluster
+    // rows plus the γ policy's runs) — no per-run `dist` allocation.
+    let mut scratch = SsspScratch::new();
     let nc = clustering.cluster_count();
     let mut inter = DenseCost::filled(nc, nc, unreachable);
     for c in 0..nc {
-        let dist = dial(g, &costs, clustering.members(c as u32), max_edge_cost);
-        let row_min = per_cluster_min(&dist, clustering, unreachable);
+        dial_scratch(
+            g,
+            &costs,
+            clustering.members(c as u32),
+            max_edge_cost,
+            &mut scratch,
+        );
+        let row_min = per_cluster_min(&scratch, g.node_count(), clustering, unreachable);
         for (c2, &d) in row_min.iter().enumerate() {
             *inter.at_mut(c, c2) = d;
         }
         *inter.at_mut(c, c) = 0;
     }
 
-    let base_gammas = compute_base_gammas(g, clustering, &costs, max_edge_cost, unreachable, config);
+    let base_gammas = compute_base_gammas(
+        g,
+        clustering,
+        &costs,
+        max_edge_cost,
+        unreachable,
+        config,
+        &mut scratch,
+    );
     let nb = config.banks_per_cluster.max(1);
     let gammas = base_gammas
         .into_iter()
@@ -111,10 +130,15 @@ pub fn compute_geometry(
     }
 }
 
-/// Reduces a distance array to the minimum per cluster.
-fn per_cluster_min(dist: &[u64], clustering: &Clustering, unreachable: u32) -> Vec<u32> {
+/// Reduces the scratch's last run to the minimum distance per cluster.
+fn per_cluster_min(
+    scratch: &SsspScratch,
+    n: usize,
+    clustering: &Clustering,
+    unreachable: u32,
+) -> Vec<u32> {
     let mut mins = vec![unreachable; clustering.cluster_count()];
-    for (x, &d) in dist.iter().enumerate() {
+    for (x, d) in scratch.distances(n).enumerate() {
         if d != UNREACHABLE {
             let c = clustering.labels[x] as usize;
             let clamped = (d.min(unreachable as u64)) as u32;
@@ -133,30 +157,34 @@ fn compute_base_gammas(
     max_edge_cost: u32,
     unreachable: u32,
     config: &SndConfig,
+    scratch: &mut SsspScratch,
 ) -> Vec<u32> {
+    // Eccentricity of the scratch's last run over a cluster's members.
+    let member_ecc = |scratch: &SsspScratch, members: &[snd_graph::NodeId]| {
+        members
+            .iter()
+            .map(|&m| {
+                let d = scratch.dist(m);
+                if d == UNREACHABLE {
+                    unreachable as u64
+                } else {
+                    d.min(unreachable as u64)
+                }
+            })
+            .max()
+            .unwrap_or(0) as u32
+    };
     match config.gamma {
         GammaPolicy::Constant(v) => vec![v; clustering.cluster_count()],
         GammaPolicy::Eccentricity => (0..clustering.cluster_count())
             .map(|c| {
                 let members = clustering.members(c as u32);
                 let rep = members[0];
-                let fwd = dial(g, costs, &[rep], max_edge_cost);
-                let bwd = dial_reverse(g, costs, &[rep], max_edge_cost);
-                let ecc = |dist: &[u64]| {
-                    members
-                        .iter()
-                        .map(|&m| {
-                            let d = dist[m as usize];
-                            if d == UNREACHABLE {
-                                unreachable as u64
-                            } else {
-                                d.min(unreachable as u64)
-                            }
-                        })
-                        .max()
-                        .unwrap_or(0) as u32
-                };
-                ecc(&fwd).max(ecc(&bwd))
+                dial_scratch(g, costs, &[rep], max_edge_cost, scratch);
+                let fwd = member_ecc(scratch, members);
+                dial_reverse_scratch(g, costs, &[rep], max_edge_cost, scratch);
+                let bwd = member_ecc(scratch, members);
+                fwd.max(bwd)
             })
             .collect(),
         GammaPolicy::HalfExactDiameter => (0..clustering.cluster_count())
@@ -164,9 +192,9 @@ fn compute_base_gammas(
                 let members = clustering.members(c as u32);
                 let mut diam = 0u64;
                 for &p in members {
-                    let dist = dial(g, costs, &[p], max_edge_cost);
+                    dial_scratch(g, costs, &[p], max_edge_cost, scratch);
                     for &q in members {
-                        let d = dist[q as usize];
+                        let d = scratch.dist(q);
                         let d = if d == UNREACHABLE {
                             unreachable as u64
                         } else {

@@ -73,8 +73,8 @@ mod tests {
     use super::*;
     use crate::banks::compute_geometry;
     use snd_graph::bfs_partition;
-    use snd_graph::generators::path_graph;
     use snd_graph::floyd_warshall;
+    use snd_graph::generators::path_graph;
 
     fn snd_core_cluster_spec(k: usize) -> crate::config::ClusterSpec {
         crate::config::ClusterSpec::BfsPartition { clusters: k }
@@ -92,9 +92,9 @@ mod tests {
         let geom = compute_geometry(&g, &clustering, &state, Opinion::Positive, &config);
         let dense = full_ground_matrix(&g, &geom);
         let fw = floyd_warshall(&g, &geom.edge_costs);
-        for i in 0..6 {
-            for j in 0..6 {
-                assert_eq!(dense.at(i, j) as u64, fw[i][j], "({i},{j})");
+        for (i, fw_row) in fw.iter().enumerate() {
+            for (j, &expect) in fw_row.iter().enumerate() {
+                assert_eq!(dense.at(i, j) as u64, expect, "({i},{j})");
             }
         }
     }

@@ -1,10 +1,23 @@
 //! The SND engine: Eq. 3 over a fixed graph and configuration.
+//!
+//! # Threading model
+//!
+//! [`SndEngine`] is immutable after construction and `Sync`: share one
+//! engine by reference across any number of threads. Per-call parallelism
+//! is internal — [`breakdown`](SndEngine::breakdown) evaluates its four
+//! EMD\* terms concurrently, and the batch entry points
+//! ([`pairwise_distances`](SndEngine::pairwise_distances),
+//! [`series_distances`](SndEngine::series_distances)) fan comparisons out
+//! over all cores. Results are bit-identical to a sequential evaluation:
+//! every term is an independent exact computation and reductions happen in
+//! a fixed order.
 
 use snd_graph::{bfs_partition, label_propagation, whole_graph_cluster, Clustering, CsrGraph};
 use snd_models::{NetworkState, Opinion};
 
 use crate::banks::{compute_geometry, GroundGeometry};
 use crate::config::{ClusterSpec, SndConfig};
+use crate::sparse::RowCache;
 use crate::{dense, sparse};
 
 /// The four EMD\* terms of Eq. 3.
@@ -24,6 +37,26 @@ impl SndBreakdown {
     /// `SND = ½ · Σ terms`.
     pub fn total(&self) -> f64 {
         0.5 * (self.forward_pos + self.forward_neg + self.backward_pos + self.backward_neg)
+    }
+}
+
+/// Per-state evaluation bundle: both opinion geometries plus the shared,
+/// thread-safe SSSP row cache for comparisons grounded in that state.
+/// Built by [`SndEngine::state_geometry`], consumed by
+/// [`SndEngine::breakdown_with`] and the batch entry points.
+pub struct StateGeometry {
+    /// `D(state, +)` geometry.
+    pub pos: GroundGeometry,
+    /// `D(state, −)` geometry.
+    pub neg: GroundGeometry,
+    /// Shared row cache (one slot per `(opinion, direction, node)`).
+    pub cache: RowCache,
+}
+
+impl StateGeometry {
+    /// Number of SSSP rows computed into this bundle's cache so far.
+    pub fn cached_rows(&self) -> usize {
+        self.cache.computed_rows()
     }
 }
 
@@ -83,24 +116,48 @@ impl<'g> SndEngine<'g> {
         compute_geometry(self.graph, &self.clustering, state, op, &self.config)
     }
 
+    /// Computes the full per-state bundle — both opinion geometries (in
+    /// parallel) plus an empty shared row cache. This is the unit of reuse
+    /// for batch evaluation: every comparison grounded in `state` draws its
+    /// SSSP rows from the bundle's cache, so each
+    /// `(opinion, direction, node)` row is computed at most once per
+    /// ground state no matter how many comparisons touch it.
+    pub fn state_geometry(&self, state: &NetworkState) -> StateGeometry {
+        let (pos, neg) = rayon::join(
+            || self.geometry(state, Opinion::Positive),
+            || self.geometry(state, Opinion::Negative),
+        );
+        StateGeometry {
+            pos,
+            neg,
+            cache: RowCache::new(self.graph.node_count()),
+        }
+    }
+
     /// SND between two states via the sparse (Theorem 4) path.
     pub fn distance(&self, a: &NetworkState, b: &NetworkState) -> f64 {
         self.breakdown(a, b).total()
     }
 
-    /// The four Eq. 3 terms via the sparse path.
-    pub fn breakdown(&self, a: &NetworkState, b: &NetworkState) -> SndBreakdown {
+    /// Fully sequential [`distance`](Self::distance): no thread fan-out
+    /// anywhere. Reference for determinism tests and single-core baselines;
+    /// returns bit-identical values to the parallel path.
+    pub fn distance_seq(&self, a: &NetworkState, b: &NetworkState) -> f64 {
+        self.breakdown_seq(a, b).total()
+    }
+
+    /// Fully sequential [`breakdown`](Self::breakdown).
+    pub fn breakdown_seq(&self, a: &NetworkState, b: &NetworkState) -> SndBreakdown {
         let ga_pos = self.geometry(a, Opinion::Positive);
         let ga_neg = self.geometry(a, Opinion::Negative);
         let gb_pos = self.geometry(b, Opinion::Positive);
         let gb_neg = self.geometry(b, Opinion::Negative);
-        self.breakdown_with_geometry(a, b, [&ga_pos, &ga_neg, &gb_pos, &gb_neg])
+        self.breakdown_with_geometry_seq(a, b, [&ga_pos, &ga_neg, &gb_pos, &gb_neg])
     }
 
-    /// The four Eq. 3 terms given precomputed geometries
-    /// `[D(a,+), D(a,−), D(b,+), D(b,−)]` — the building block for series
-    /// evaluation where adjacent pairs share ground states.
-    pub fn breakdown_with_geometry(
+    /// Fully sequential
+    /// [`breakdown_with_geometry`](Self::breakdown_with_geometry).
+    pub fn breakdown_with_geometry_seq(
         &self,
         a: &NetworkState,
         b: &NetworkState,
@@ -126,6 +183,109 @@ impl<'g> SndEngine<'g> {
         }
     }
 
+    /// The four Eq. 3 terms via the sparse path. Geometries and terms are
+    /// evaluated concurrently; the result is bit-identical to a sequential
+    /// evaluation.
+    pub fn breakdown(&self, a: &NetworkState, b: &NetworkState) -> SndBreakdown {
+        let ((ga_pos, ga_neg), (gb_pos, gb_neg)) = rayon::join(
+            || {
+                rayon::join(
+                    || self.geometry(a, Opinion::Positive),
+                    || self.geometry(a, Opinion::Negative),
+                )
+            },
+            || {
+                rayon::join(
+                    || self.geometry(b, Opinion::Positive),
+                    || self.geometry(b, Opinion::Negative),
+                )
+            },
+        );
+        self.breakdown_with_geometry(a, b, [&ga_pos, &ga_neg, &gb_pos, &gb_neg])
+    }
+
+    /// The four Eq. 3 terms given precomputed geometries
+    /// `[D(a,+), D(a,−), D(b,+), D(b,−)]` — the building block for series
+    /// evaluation where adjacent pairs share ground states. Terms are
+    /// computed concurrently (they are independent transportation solves).
+    pub fn breakdown_with_geometry(
+        &self,
+        a: &NetworkState,
+        b: &NetworkState,
+        geoms: [&GroundGeometry; 4],
+    ) -> SndBreakdown {
+        self.terms(a, b, geoms, [None, None, None, None])
+    }
+
+    /// [`breakdown_with_geometry`](Self::breakdown_with_geometry) drawing
+    /// SSSP rows from per-state bundles: `ga` must be `a`'s geometry and
+    /// `gb` must be `b`'s. Rows computed here stay in the bundles' caches
+    /// for later comparisons sharing either ground state.
+    pub fn breakdown_with(
+        &self,
+        a: &NetworkState,
+        b: &NetworkState,
+        ga: &StateGeometry,
+        gb: &StateGeometry,
+    ) -> SndBreakdown {
+        self.terms(
+            a,
+            b,
+            [&ga.pos, &ga.neg, &gb.pos, &gb.neg],
+            [
+                Some(&ga.cache),
+                Some(&ga.cache),
+                Some(&gb.cache),
+                Some(&gb.cache),
+            ],
+        )
+    }
+
+    fn terms(
+        &self,
+        a: &NetworkState,
+        b: &NetworkState,
+        geoms: [&GroundGeometry; 4],
+        caches: [Option<&RowCache>; 4],
+    ) -> SndBreakdown {
+        let term = |geom: &GroundGeometry,
+                    cache: Option<&RowCache>,
+                    p: &NetworkState,
+                    q: &NetworkState,
+                    op: Opinion| {
+            sparse::emd_star_term(
+                self.graph,
+                &self.clustering,
+                geom,
+                p,
+                q,
+                op,
+                &self.config,
+                cache,
+            )
+        };
+        let ((forward_pos, forward_neg), (backward_pos, backward_neg)) = rayon::join(
+            || {
+                rayon::join(
+                    || term(geoms[0], caches[0], a, b, Opinion::Positive),
+                    || term(geoms[1], caches[1], a, b, Opinion::Negative),
+                )
+            },
+            || {
+                rayon::join(
+                    || term(geoms[2], caches[2], b, a, Opinion::Positive),
+                    || term(geoms[3], caches[3], b, a, Opinion::Negative),
+                )
+            },
+        );
+        SndBreakdown {
+            forward_pos,
+            forward_neg,
+            backward_pos,
+            backward_neg,
+        }
+    }
+
     /// SND via the dense reference path (full APSP + full extended LP).
     /// `O(n²)` memory — intended for validation and the Fig. 11 baseline.
     pub fn distance_dense(&self, a: &NetworkState, b: &NetworkState) -> f64 {
@@ -140,29 +300,77 @@ impl<'g> SndEngine<'g> {
     }
 
     /// Distances between adjacent states of a series (sparse path), sharing
-    /// geometry between the two pairs each state participates in. Returns
-    /// `states.len() − 1` values.
+    /// geometry and SSSP rows between the two pairs each state participates
+    /// in. Returns `states.len() − 1` values.
+    ///
+    /// Evaluation is parallel — geometries for all states are computed
+    /// concurrently, then every transition fans out over the thread pool —
+    /// and bit-identical to the sequential loop of
+    /// [`series_distances_seq`](Self::series_distances_seq).
     pub fn series_distances(&self, states: &[NetworkState]) -> Vec<f64> {
+        use rayon::prelude::*;
+        if states.len() < 2 {
+            return Vec::new();
+        }
+        // Evaluate in windows so at most GEOMETRY_WINDOW bundles (each
+        // holding geometries plus cached SSSP rows, O(n) apiece) are live
+        // at once — a long series on a large graph must not hold T bundles
+        // simultaneously. The one overlap state per window boundary is
+        // recomputed, which is deterministic and amortized by the window.
+        const GEOMETRY_WINDOW: usize = 33;
+        let mut out = Vec::with_capacity(states.len() - 1);
+        let mut lo = 0usize;
+        while lo + 1 < states.len() {
+            let hi = (lo + GEOMETRY_WINDOW - 1).min(states.len() - 1);
+            let geoms: Vec<StateGeometry> = states[lo..=hi]
+                .par_iter()
+                .map(|s| self.state_geometry(s))
+                .collect();
+            out.extend(
+                (lo + 1..hi + 1)
+                    .into_par_iter()
+                    .map(|t| {
+                        self.breakdown_with(
+                            &states[t - 1],
+                            &states[t],
+                            &geoms[t - 1 - lo],
+                            &geoms[t - lo],
+                        )
+                        .total()
+                    })
+                    .collect::<Vec<f64>>(),
+            );
+            lo = hi;
+        }
+        out
+    }
+
+    /// Sequential reference implementation of
+    /// [`series_distances`](Self::series_distances): one transition at a
+    /// time with no thread fan-out, geometries shared between adjacent
+    /// pairs (the seed's original behavior). Kept for validation and
+    /// single-core baselines.
+    pub fn series_distances_seq(&self, states: &[NetworkState]) -> Vec<f64> {
         if states.len() < 2 {
             return Vec::new();
         }
         let mut out = Vec::with_capacity(states.len() - 1);
-        let mut prev_geoms = (
+        let mut prev = (
             self.geometry(&states[0], Opinion::Positive),
             self.geometry(&states[0], Opinion::Negative),
         );
         for t in 1..states.len() {
-            let cur_geoms = (
+            let cur = (
                 self.geometry(&states[t], Opinion::Positive),
                 self.geometry(&states[t], Opinion::Negative),
             );
-            let breakdown = self.breakdown_with_geometry(
+            let breakdown = self.breakdown_with_geometry_seq(
                 &states[t - 1],
                 &states[t],
-                [&prev_geoms.0, &prev_geoms.1, &cur_geoms.0, &cur_geoms.1],
+                [&prev.0, &prev.1, &cur.0, &cur.1],
             );
             out.push(breakdown.total());
-            prev_geoms = cur_geoms;
+            prev = cur;
         }
         out
     }
@@ -171,9 +379,9 @@ impl<'g> SndEngine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snd_graph::generators::{barabasi_albert, path_graph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use snd_graph::generators::{barabasi_albert, path_graph};
 
     #[test]
     fn snd_is_zero_on_identical_states() {

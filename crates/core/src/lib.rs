@@ -30,6 +30,7 @@
 //! [`SndEngine::series_distances`] and [`OrderedSnd`].
 
 pub mod banks;
+pub mod batch;
 pub mod config;
 pub mod dense;
 pub mod engine;
@@ -37,6 +38,8 @@ pub mod ordered;
 pub mod sparse;
 
 pub use banks::GroundGeometry;
+pub use batch::DistanceMatrix;
 pub use config::{ClusterSpec, GammaPolicy, SndConfig};
-pub use engine::{SndBreakdown, SndEngine};
+pub use engine::{SndBreakdown, SndEngine, StateGeometry};
 pub use ordered::OrderedSnd;
+pub use sparse::RowCache;

@@ -13,35 +13,31 @@
 //! from a previous one in a handful of users costs only a few extra SSSP
 //! runs plus a small transportation solve. This is what makes the
 //! randomized-search opinion predictor (§6.3) tractable.
-
-use std::cell::RefCell;
+//!
+//! The row cache is thread-safe and shared: [`OrderedSnd`] is `Sync`, and
+//! [`distances_to`](OrderedSnd::distances_to) scores a whole candidate
+//! batch in parallel against the one cache.
 
 use snd_models::{NetworkState, Opinion};
 
-use crate::banks::GroundGeometry;
-use crate::engine::SndEngine;
-use crate::sparse::{emd_star_term, RowCache};
+use crate::engine::{SndEngine, StateGeometry};
+use crate::sparse::emd_star_term;
 
 /// Ordered-SND evaluator anchored at a fixed "from" state.
 pub struct OrderedSnd<'e, 'g> {
     engine: &'e SndEngine<'g>,
     from: NetworkState,
-    geom_pos: GroundGeometry,
-    geom_neg: GroundGeometry,
-    cache: RefCell<RowCache>,
+    geometry: StateGeometry,
 }
 
 impl<'e, 'g> OrderedSnd<'e, 'g> {
     /// Builds the evaluator (computes the two geometries of `from`).
     pub fn new(engine: &'e SndEngine<'g>, from: NetworkState) -> Self {
-        let geom_pos = engine.geometry(&from, Opinion::Positive);
-        let geom_neg = engine.geometry(&from, Opinion::Negative);
+        let geometry = engine.state_geometry(&from);
         OrderedSnd {
             engine,
             from,
-            geom_pos,
-            geom_neg,
-            cache: RefCell::new(RowCache::new()),
+            geometry,
         }
     }
 
@@ -52,33 +48,36 @@ impl<'e, 'g> OrderedSnd<'e, 'g> {
 
     /// Ordered SND from the anchored state to `to`.
     pub fn distance_to(&self, to: &NetworkState) -> f64 {
-        let mut cache = self.cache.borrow_mut();
-        let pos = emd_star_term(
-            self.engine.graph(),
-            self.engine.clustering(),
-            &self.geom_pos,
-            &self.from,
-            to,
-            Opinion::Positive,
-            self.engine.config(),
-            Some(&mut cache),
-        );
-        let neg = emd_star_term(
-            self.engine.graph(),
-            self.engine.clustering(),
-            &self.geom_neg,
-            &self.from,
-            to,
-            Opinion::Negative,
-            self.engine.config(),
-            Some(&mut cache),
+        let term = |geom, op| {
+            emd_star_term(
+                self.engine.graph(),
+                self.engine.clustering(),
+                geom,
+                &self.from,
+                to,
+                op,
+                self.engine.config(),
+                Some(&self.geometry.cache),
+            )
+        };
+        let (pos, neg) = rayon::join(
+            || term(&self.geometry.pos, Opinion::Positive),
+            || term(&self.geometry.neg, Opinion::Negative),
         );
         pos + neg
     }
 
+    /// Ordered SND to every candidate, fanned out over the thread pool.
+    /// All evaluations share the anchored geometry and row cache; the
+    /// result order matches `candidates`.
+    pub fn distances_to(&self, candidates: &[NetworkState]) -> Vec<f64> {
+        use rayon::prelude::*;
+        candidates.par_iter().map(|c| self.distance_to(c)).collect()
+    }
+
     /// Number of SSSP rows currently cached.
     pub fn cached_rows(&self) -> usize {
-        self.cache.borrow().len()
+        self.geometry.cached_rows()
     }
 }
 
@@ -128,5 +127,24 @@ mod tests {
         let breakdown = engine.breakdown(&a, &b);
         let expected = breakdown.forward_pos + breakdown.forward_neg;
         assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn batch_scoring_matches_one_by_one() {
+        let g = path_graph(10);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let from = NetworkState::from_values(&[1, 1, 0, 0, 0, 0, 0, 0, -1, 0]);
+        let ordered = OrderedSnd::new(&engine, from);
+        let candidates: Vec<NetworkState> = (0..6)
+            .map(|i| {
+                let mut s = ordered.from_state().clone();
+                s.set(i as u32 + 2, Opinion::Positive);
+                s
+            })
+            .collect();
+        let batch = ordered.distances_to(&candidates);
+        for (c, &d) in candidates.iter().zip(&batch) {
+            assert_eq!(d, ordered.distance_to(c), "batch equals single eval");
+        }
     }
 }

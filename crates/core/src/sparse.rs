@@ -20,66 +20,136 @@
 //! 4. **Exact solve** — the reduced problem (balanced by construction) goes
 //!    to the configured transportation solver.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use snd_emd::bank_capacities_from_cluster_masses;
-use snd_graph::{dial, dial_reverse, Clustering, CsrGraph, NodeId};
+use snd_graph::{dial_reverse_scratch, dial_scratch, Clustering, CsrGraph, NodeId, SsspScratch};
 use snd_models::{NetworkState, Opinion};
 use snd_transport::{solve_balanced, DenseCost, Mass};
 
 use crate::banks::GroundGeometry;
 use crate::config::SndConfig;
 
-/// Cache of clamped SSSP rows keyed by `(opinion, reversed, node)`; reused
-/// across comparisons that share a ground state (see
-/// [`crate::OrderedSnd`]).
-#[derive(Default, Debug)]
+thread_local! {
+    /// Per-thread SSSP scratch: `dist`/bucket buffers are reused across
+    /// every row a thread computes instead of being reallocated per call.
+    static SSSP_SCRATCH: RefCell<SsspScratch> = RefCell::new(SsspScratch::new());
+}
+
+/// Thread-safe cache of clamped SSSP rows for one ground state, shared
+/// across every comparison grounded in that state (series evaluation,
+/// all-pairs matrices, [`crate::OrderedSnd`] candidate search).
+///
+/// Layout: four lazily-allocated dense planes — one per `(opinion,
+/// direction)` — each a slab of [`OnceLock`] slots indexed directly by
+/// node id. Dense indexing replaces the old
+/// `HashMap<(i8, bool, NodeId), _>`: lookups are two array indexes, and
+/// synchronization is per *row* (each slot is its own lock), so concurrent
+/// readers of different rows never contend and concurrent requests for the
+/// same row compute it exactly once. A plane's slot slab (`n` slots,
+/// ~24 B each) is only allocated when the first row of that
+/// `(opinion, direction)` is requested — a typical comparison touches one
+/// direction per opinion, so usually two of the four planes stay empty.
+///
+/// [`computed_rows`](RowCache::computed_rows) counts actual SSSP runs —
+/// the observability hook the cache-reuse tests assert on.
+/// One cached row slot: filled exactly once with the clamped SSSP row.
+type RowSlot = OnceLock<Box<[u32]>>;
+
+#[derive(Debug)]
 pub struct RowCache {
-    rows: HashMap<(i8, bool, NodeId), Box<[u32]>>,
+    planes: [OnceLock<Box<[RowSlot]>>; 4],
+    n: usize,
+    computed: AtomicUsize,
 }
 
 impl RowCache {
-    /// Empty cache.
-    pub fn new() -> Self {
-        RowCache::default()
+    /// Empty cache for a graph of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        RowCache {
+            planes: std::array::from_fn(|_| OnceLock::new()),
+            n,
+            computed: AtomicUsize::new(0),
+        }
     }
 
-    /// Number of cached rows.
+    /// Number of cached rows (equals the number of SSSP runs performed).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.computed_rows()
     }
 
     /// True if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of SSSP row computations this cache has performed — a second
+    /// request for any `(opinion, direction, node)` row is a hit and does
+    /// not increment this.
+    pub fn computed_rows(&self) -> usize {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    fn plane(op: Opinion, reverse: bool) -> usize {
+        // EMD* terms only ever transport the two polar opinions; a neutral
+        // key would silently alias the positive plane.
+        debug_assert!(op.is_active(), "row cache keys require a polar opinion");
+        let op_bit = usize::from(op == Opinion::Negative);
+        (op_bit << 1) | usize::from(reverse)
     }
 
     fn get_or_compute(
-        &mut self,
+        &self,
         g: &CsrGraph,
         geom: &GroundGeometry,
         op: Opinion,
         reverse: bool,
         node: NodeId,
     ) -> &[u32] {
-        self.rows
-            .entry((op.value(), reverse, node))
-            .or_insert_with(|| compute_row(g, geom, reverse, node))
+        let slots = self.planes[Self::plane(op, reverse)]
+            .get_or_init(|| (0..self.n).map(|_| OnceLock::new()).collect());
+        slots[node as usize].get_or_init(|| {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            compute_row(g, geom, reverse, node)
+        })
     }
 }
 
+/// One clamped SSSP row, computed on the calling thread's reusable scratch.
 fn compute_row(g: &CsrGraph, geom: &GroundGeometry, reverse: bool, node: NodeId) -> Box<[u32]> {
-    let dist = if reverse {
-        dial_reverse(g, &geom.edge_costs, &[node], geom.max_edge_cost)
-    } else {
-        dial(g, &geom.edge_costs, &[node], geom.max_edge_cost)
-    };
-    dist.into_iter().map(|d| geom.clamp(d)).collect()
+    SSSP_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        if reverse {
+            dial_reverse_scratch(
+                g,
+                &geom.edge_costs,
+                &[node],
+                geom.max_edge_cost,
+                &mut scratch,
+            );
+        } else {
+            dial_scratch(
+                g,
+                &geom.edge_costs,
+                &[node],
+                geom.max_edge_cost,
+                &mut scratch,
+            );
+        }
+        scratch
+            .distances(g.node_count())
+            .map(|d| geom.clamp(d))
+            .collect()
+    })
 }
 
 /// Computes one EMD\* term `EMD*(Pᵒᵖ, Qᵒᵖ, D(ground, op))` where the ground
 /// geometry was built from the same state/opinion. `cache` (optional) reuses
-/// SSSP rows across calls sharing this geometry.
+/// SSSP rows across calls sharing this geometry — a shared reference, so
+/// concurrent terms over the same ground state fill one cache together.
+#[allow(clippy::too_many_arguments)] // mirrors the EMD*(P, Q, D | config) signature
 pub fn emd_star_term(
     g: &CsrGraph,
     clustering: &Clustering,
@@ -88,7 +158,7 @@ pub fn emd_star_term(
     q_state: &NetworkState,
     op: Opinion,
     config: &SndConfig,
-    mut cache: Option<&mut RowCache>,
+    cache: Option<&RowCache>,
 ) -> f64 {
     let n = g.node_count();
     assert_eq!(p_state.len(), n, "state size mismatch");
@@ -189,7 +259,7 @@ pub fn emd_star_term(
     let mut data = Vec::with_capacity(n_rows * n_cols);
     let mut local_row; // fallback storage when no cache was provided
     for &node in &row_nodes {
-        let row: &[u32] = match cache.as_deref_mut() {
+        let row: &[u32] = match cache {
             Some(c) => c.get_or_compute(g, geom, op, reverse, node),
             None => {
                 local_row = compute_row(g, geom, reverse, node);
@@ -265,7 +335,16 @@ mod tests {
         let mut q = NetworkState::new_neutral(4);
         q.set(2, Opinion::Positive);
         let geom = compute_geometry(&g, &clustering, &p, Opinion::Positive, &config);
-        let v = emd_star_term(&g, &clustering, &geom, &p, &q, Opinion::Positive, &config, None);
+        let v = emd_star_term(
+            &g,
+            &clustering,
+            &geom,
+            &p,
+            &q,
+            Opinion::Positive,
+            &config,
+            None,
+        );
         // Bank of the single cluster at γ=7, inter-cluster d = 0.
         assert!((v - 7.0).abs() < 1e-9, "{v}");
     }
@@ -278,7 +357,7 @@ mod tests {
         let p = NetworkState::from_values(&[1, 0, 0, 0, 0, 0]);
         let q = NetworkState::from_values(&[0, 0, 0, 1, 0, 0]);
         let geom = compute_geometry(&g, &clustering, &p, Opinion::Positive, &config);
-        let mut cache = RowCache::new();
+        let cache = RowCache::new(g.node_count());
         let v1 = emd_star_term(
             &g,
             &clustering,
@@ -287,9 +366,9 @@ mod tests {
             &q,
             Opinion::Positive,
             &config,
-            Some(&mut cache),
+            Some(&cache),
         );
-        let cached = cache.len();
+        let cached = cache.computed_rows();
         assert!(cached > 0);
         let v2 = emd_star_term(
             &g,
@@ -299,9 +378,35 @@ mod tests {
             &q,
             Opinion::Positive,
             &config,
-            Some(&mut cache),
+            Some(&cache),
         );
-        assert_eq!(cache.len(), cached, "no new rows on repeat");
+        assert_eq!(cache.computed_rows(), cached, "no new rows on repeat");
         assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn concurrent_cache_fills_compute_each_row_once() {
+        use rayon::prelude::*;
+        let g = path_graph(12);
+        let clustering = bfs_partition(&g, 3);
+        let config = SndConfig::default();
+        let p = NetworkState::from_values(&[1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let geom = compute_geometry(&g, &clustering, &p, Opinion::Positive, &config);
+        let cache = RowCache::new(g.node_count());
+        // Many threads demand the same rows at once; each row must be
+        // computed exactly once and every reader must see identical data.
+        let rows: Vec<Vec<u32>> = (0..64usize)
+            .into_par_iter()
+            .map(|i| {
+                let node = (i % 12) as u32;
+                cache
+                    .get_or_compute(&g, &geom, Opinion::Positive, false, node)
+                    .to_vec()
+            })
+            .collect();
+        assert_eq!(cache.computed_rows(), 12, "one SSSP per distinct row");
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row, &rows[i % 12], "readers agree");
+        }
     }
 }

@@ -122,9 +122,9 @@ pub fn generate_series(config: &SyntheticSeriesConfig) -> SyntheticSeries {
 
     let mut states = Vec::with_capacity(config.steps + 1);
     states.push(current);
-    for t in 0..config.steps {
+    for &anomalous in &labels {
         let prev = states.last().unwrap();
-        let next = if labels[t] {
+        let next = if anomalous {
             // Volume calibration: match the expected activation count of a
             // normal step at the current density.
             let pf = active_neighbor_fraction(&graph, prev);

@@ -12,7 +12,13 @@ use crate::histogram::Histogram;
 /// Theorem 2 equality with [`crate::emd_alpha`] is exact in integer
 /// arithmetic. The penalty term depends only on the mismatch magnitude —
 /// the limitation EMD\* removes.
-pub fn emd_hat(p: &Histogram, q: &Histogram, ground: &DenseCost, gamma: u32, solver: Solver) -> f64 {
+pub fn emd_hat(
+    p: &Histogram,
+    q: &Histogram,
+    ground: &DenseCost,
+    gamma: u32,
+    solver: Solver,
+) -> f64 {
     assert_eq!(p.scale(), q.scale(), "histogram scale mismatch");
     let moved_cost = classic::emd_total_cost(p, q, ground, solver);
     let mismatch = p.total().abs_diff(q.total()) as f64 / p.scale() as f64;

@@ -71,10 +71,7 @@ mod tests {
             let gamma = d.max_entry();
             let a = emd_alpha(&p, &q, &d, gamma, Solver::Simplex);
             let h = emd_hat(&p, &q, &d, gamma, Solver::Simplex);
-            assert!(
-                (a - h).abs() < 1e-9,
-                "trial {trial}: EMDα {a} vs ÊMD {h}"
-            );
+            assert!((a - h).abs() < 1e-9, "trial {trial}: EMDα {a} vs ÊMD {h}");
         }
     }
 

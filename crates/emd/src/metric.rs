@@ -104,8 +104,11 @@ mod tests {
             Histogram::from_f64(&[0.0, 0.0, 0.0, 0.5], DEFAULT_SCALE),
             Histogram::zeros(n, DEFAULT_SCALE),
         ];
-        let report =
-            check_metric_axioms(&set, |p, q| emd_star(p, q, &d, &geom, Solver::Simplex), 1e-9);
+        let report = check_metric_axioms(
+            &set,
+            |p, q| emd_star(p, q, &d, &geom, Solver::Simplex),
+            1e-9,
+        );
         assert!(report.is_metric(), "{report:?}");
     }
 

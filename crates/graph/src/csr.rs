@@ -31,12 +31,9 @@ impl CsrGraph {
     /// Self-loops are dropped and duplicate edges collapsed. Panics if any
     /// endpoint is `>= n`.
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
-        assert!(n <= u32::MAX as usize - 1, "node count exceeds u32 range");
-        let mut list: Vec<(NodeId, NodeId)> = edges
-            .iter()
-            .copied()
-            .filter(|&(u, v)| u != v)
-            .collect();
+        assert!(n < u32::MAX as usize, "node count exceeds u32 range");
+        let mut list: Vec<(NodeId, NodeId)> =
+            edges.iter().copied().filter(|&(u, v)| u != v).collect();
         for &(u, v) in &list {
             assert!(
                 (u as usize) < n && (v as usize) < n,
@@ -201,7 +198,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds a directed edge.

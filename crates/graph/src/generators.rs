@@ -49,7 +49,7 @@ pub fn scale_free_configuration<R: Rng>(
     let mut stubs: Vec<NodeId> = Vec::new();
     for u in 0..n as NodeId {
         let deg = sample_power_law(&cdf, k_min, rng);
-        stubs.extend(std::iter::repeat(u).take(deg));
+        stubs.extend(std::iter::repeat_n(u, deg));
     }
     if stubs.len() % 2 == 1 {
         stubs.pop();

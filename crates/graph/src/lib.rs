@@ -28,12 +28,13 @@ pub mod generators;
 pub mod laplacian;
 pub mod shortest_paths;
 
+pub use bfs::{bfs_levels, double_sweep_diameter};
 pub use clustering::{bfs_partition, label_propagation, whole_graph_cluster, Clustering};
 pub use components::{largest_weak_component, weak_components, UnionFind};
 pub use csr::{CsrGraph, EdgeId, GraphBuilder, NodeId};
-pub use bfs::{bfs_levels, double_sweep_diameter};
 pub use laplacian::{dense_laplacian, laplacian_quadratic_form};
 pub use shortest_paths::{
-    bellman_ford, dial, dial_reverse, dijkstra, dijkstra_reverse, floyd_warshall, radix_dijkstra, Dist,
+    bellman_ford, dial, dial_reverse, dial_reverse_scratch, dial_scratch, dijkstra,
+    dijkstra_reverse, dijkstra_scratch, floyd_warshall, radix_dijkstra, Dist, SsspScratch,
     UNREACHABLE,
 };

@@ -36,8 +36,8 @@ pub fn floyd_warshall(g: &CsrGraph, weights: &[u32]) -> Vec<Vec<Dist>> {
     debug_assert_eq!(weights.len(), g.edge_count());
     let n = g.node_count();
     let mut d = vec![vec![UNREACHABLE; n]; n];
-    for i in 0..n {
-        d[i][i] = 0;
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
     }
     for u in g.nodes() {
         for (e, v) in g.out_edges(u) {
@@ -48,19 +48,19 @@ pub fn floyd_warshall(g: &CsrGraph, weights: &[u32]) -> Vec<Vec<Dist>> {
         }
     }
     for k in 0..n {
-        for i in 0..n {
-            let dik = d[i][k];
+        let row_k = d[k].clone();
+        for row_i in &mut d {
+            let dik = row_i[k];
             if dik == UNREACHABLE {
                 continue;
             }
-            for j in 0..n {
-                let dkj = d[k][j];
+            for (j, &dkj) in row_k.iter().enumerate() {
                 if dkj == UNREACHABLE {
                     continue;
                 }
                 let through = dik + dkj;
-                if through < d[i][j] {
-                    d[i][j] = through;
+                if through < row_i[j] {
+                    row_i[j] = through;
                 }
             }
         }

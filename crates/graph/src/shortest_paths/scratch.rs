@@ -1,0 +1,277 @@
+//! Allocation-free SSSP: reusable scratch buffers for batch row
+//! computation.
+//!
+//! SND's sparse path runs one bounded-cost SSSP per residual user — for
+//! all-pairs workloads that is thousands of runs over the same graph. The
+//! plain [`dial`](super::dial)/[`dijkstra`](super::dijkstra) entry points
+//! allocate a fresh `vec![UNREACHABLE; n]` (plus bucket arrays) per call;
+//! at `n = 10⁴…10⁶` the zeroing alone rivals the traversal cost.
+//!
+//! [`SsspScratch`] holds the distance array, a timestamp array, the Dial
+//! bucket ring, and the Dijkstra heap. Resetting between runs is O(1): the
+//! epoch counter is bumped and stale entries are recognized by their
+//! timestamp instead of being rewritten. Buckets and heap drain to empty as
+//! a side effect of each run, so only their capacity persists.
+//!
+//! Intended use is one scratch per worker thread, reused across every row
+//! that thread computes (see `snd-core`'s row cache).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::{Dist, UNREACHABLE};
+use crate::csr::{CsrGraph, NodeId};
+
+/// Reusable state for [`dial_scratch`] / [`dial_reverse_scratch`] /
+/// [`dijkstra_scratch`]. Construction is cheap; buffers grow on first use
+/// and are retained across runs.
+#[derive(Default)]
+pub struct SsspScratch {
+    dist: Vec<Dist>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    buckets: Vec<Vec<NodeId>>,
+    heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
+}
+
+impl SsspScratch {
+    /// An empty scratch; buffers are sized lazily by the first run.
+    pub fn new() -> Self {
+        SsspScratch::default()
+    }
+
+    /// Distance of `v` from the last run's sources ([`UNREACHABLE`] if no
+    /// path, or if `v` was not touched by the last run).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Dist {
+        let v = v as usize;
+        if self.stamp.get(v) == Some(&self.epoch) {
+            self.dist[v]
+        } else {
+            UNREACHABLE
+        }
+    }
+
+    /// Iterates the last run's distances for nodes `0..n`.
+    pub fn distances(&self, n: usize) -> impl Iterator<Item = Dist> + '_ {
+        (0..n as NodeId).map(|v| self.dist(v))
+    }
+
+    /// Starts a new run: O(1) reset via epoch bump, growing buffers to
+    /// cover `n` nodes and `span` Dial buckets.
+    fn begin(&mut self, n: usize, span: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, UNREACHABLE);
+            self.stamp.resize(n, self.epoch);
+        }
+        if self.buckets.len() < span {
+            self.buckets.resize_with(span, Vec::new);
+        }
+        debug_assert!(self.buckets.iter().all(|b| b.is_empty()), "drained");
+        self.heap.clear();
+        if self.epoch == u32::MAX {
+            // Epoch wrap: invalidate everything explicitly once per 2³²
+            // runs, then resume O(1) resets.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Tentative distance during a run (stamped read).
+    #[inline]
+    fn get(&self, v: NodeId) -> Dist {
+        let v = v as usize;
+        if self.stamp[v] == self.epoch {
+            self.dist[v]
+        } else {
+            UNREACHABLE
+        }
+    }
+
+    /// Stamped write.
+    #[inline]
+    fn set(&mut self, v: NodeId, d: Dist) {
+        let v = v as usize;
+        self.dist[v] = d;
+        self.stamp[v] = self.epoch;
+    }
+}
+
+/// Multi-source Dial's algorithm into caller-provided scratch. Semantics
+/// match [`dial`](super::dial); read results via [`SsspScratch::dist`].
+pub fn dial_scratch(
+    g: &CsrGraph,
+    weights: &[u32],
+    sources: &[NodeId],
+    max_weight: u32,
+    scratch: &mut SsspScratch,
+) {
+    dial_scratch_impl(g, weights, sources, max_weight, false, scratch)
+}
+
+/// Reverse-edge counterpart of [`dial_scratch`] (distance *to* the source
+/// set along forward edges).
+pub fn dial_reverse_scratch(
+    g: &CsrGraph,
+    weights: &[u32],
+    sources: &[NodeId],
+    max_weight: u32,
+    scratch: &mut SsspScratch,
+) {
+    dial_scratch_impl(g, weights, sources, max_weight, true, scratch)
+}
+
+fn dial_scratch_impl(
+    g: &CsrGraph,
+    weights: &[u32],
+    sources: &[NodeId],
+    max_weight: u32,
+    reverse: bool,
+    scratch: &mut SsspScratch,
+) {
+    debug_assert_eq!(weights.len(), g.edge_count());
+    debug_assert!(weights.iter().all(|&w| w <= max_weight));
+    let n = g.node_count();
+    let span = max_weight as usize + 1;
+    scratch.begin(n, span);
+    let mut in_queue = 0usize;
+
+    for &s in sources {
+        if scratch.get(s) != 0 {
+            scratch.set(s, 0);
+            scratch.buckets[0].push(s);
+            in_queue += 1;
+        }
+    }
+
+    let mut current: Dist = 0;
+    while in_queue > 0 {
+        let slot = (current % span as Dist) as usize;
+        // Buckets may hold stale entries whose distance improved since
+        // insertion; they are skipped on extraction, exactly as in `dial`.
+        while let Some(u) = scratch.buckets[slot].pop() {
+            in_queue -= 1;
+            if scratch.get(u) != current {
+                continue; // stale
+            }
+            let mut relax = |e: u32, v: NodeId, scratch: &mut SsspScratch| {
+                let nd = current + weights[e as usize] as Dist;
+                if nd < scratch.get(v) {
+                    scratch.set(v, nd);
+                    scratch.buckets[(nd % span as Dist) as usize].push(v);
+                    in_queue += 1;
+                }
+            };
+            if reverse {
+                for (e, v) in g.in_edges(u) {
+                    relax(e, v, scratch);
+                }
+            } else {
+                for (e, v) in g.out_edges(u) {
+                    relax(e, v, scratch);
+                }
+            }
+        }
+        current += 1;
+    }
+}
+
+/// Multi-source binary-heap Dijkstra into caller-provided scratch.
+/// Semantics match [`dijkstra`](super::dijkstra).
+pub fn dijkstra_scratch(
+    g: &CsrGraph,
+    weights: &[u32],
+    sources: &[NodeId],
+    scratch: &mut SsspScratch,
+) {
+    debug_assert_eq!(weights.len(), g.edge_count());
+    scratch.begin(g.node_count(), 0);
+    for &s in sources {
+        if scratch.get(s) != 0 {
+            scratch.set(s, 0);
+            scratch.heap.push(Reverse((0, s)));
+        }
+    }
+    while let Some(Reverse((d, u))) = scratch.heap.pop() {
+        if d > scratch.get(u) {
+            continue; // stale entry
+        }
+        for (e, v) in g.out_edges(u) {
+            let nd = d + weights[e as usize] as Dist;
+            if nd < scratch.get(v) {
+                scratch.set(v, nd);
+                scratch.heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::shortest_paths::{dial, dial_reverse, dijkstra};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn scratch_variants_match_allocating_variants_across_reuse() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut scratch = SsspScratch::new();
+        // One scratch reused across many graphs and runs — the regime the
+        // row cache exercises.
+        for trial in 0..25 {
+            let n = 3 + (trial % 9);
+            let g = generators::erdos_renyi_gnp(n, 0.4, true, &mut rng);
+            let w: Vec<u32> = (0..g.edge_count()).map(|_| rng.gen_range(0..=7)).collect();
+            let src = rng.gen_range(0..n as u32);
+
+            dial_scratch(&g, &w, &[src], 7, &mut scratch);
+            let expect = dial(&g, &w, &[src], 7);
+            let got: Vec<_> = scratch.distances(n).collect();
+            assert_eq!(got, expect, "dial trial {trial}");
+
+            dial_reverse_scratch(&g, &w, &[src], 7, &mut scratch);
+            let expect = dial_reverse(&g, &w, &[src], 7);
+            let got: Vec<_> = scratch.distances(n).collect();
+            assert_eq!(got, expect, "dial_reverse trial {trial}");
+
+            dijkstra_scratch(&g, &w, &[src], &mut scratch);
+            let expect = dijkstra(&g, &w, &[src]);
+            let got: Vec<_> = scratch.distances(n).collect();
+            assert_eq!(got, expect, "dijkstra trial {trial}");
+        }
+    }
+
+    #[test]
+    fn stale_distances_from_previous_runs_are_invisible() {
+        // Run 1 reaches node 2; run 2 (different sources, different graph
+        // region) must not see run 1's distances.
+        let g = crate::csr::CsrGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        let w = vec![1u32, 1];
+        let mut scratch = SsspScratch::new();
+        dial_scratch(&g, &w, &[0], 1, &mut scratch);
+        assert_eq!(scratch.dist(2), 2);
+        assert_eq!(scratch.dist(3), crate::shortest_paths::UNREACHABLE);
+        dial_scratch(&g, &w, &[3], 1, &mut scratch);
+        assert_eq!(scratch.dist(3), 0);
+        assert_eq!(
+            scratch.dist(2),
+            crate::shortest_paths::UNREACHABLE,
+            "epoch reset hides the previous run"
+        );
+    }
+
+    #[test]
+    fn multi_source_and_zero_weights() {
+        let g = crate::csr::CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let w = vec![0u32, 0];
+        let mut scratch = SsspScratch::new();
+        dial_scratch(&g, &w, &[0], 1, &mut scratch);
+        assert_eq!(scratch.distances(3).collect::<Vec<_>>(), vec![0, 0, 0]);
+        dijkstra_scratch(&g, &w, &[0, 2], &mut scratch);
+        assert_eq!(scratch.distances(3).collect::<Vec<_>>(), vec![0, 0, 0]);
+    }
+}

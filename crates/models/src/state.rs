@@ -1,10 +1,9 @@
 //! Network states: one polar opinion per user.
 
-use serde::{Deserialize, Serialize};
 use snd_graph::NodeId;
 
 /// A user's opinion: one of two competing polar opinions, or neutral.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Opinion {
     /// The "−" opinion.
     Negative,
@@ -53,7 +52,7 @@ impl Opinion {
 }
 
 /// The opinions of all users at one time instant (a network *state*).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NetworkState {
     opinions: Vec<Opinion>,
 }
@@ -196,10 +195,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn values_roundtrip() {
         let s = NetworkState::from_values(&[1, 0, -1]);
-        let json = serde_json::to_string(&s).unwrap();
-        let back: NetworkState = serde_json::from_str(&json).unwrap();
+        let back = NetworkState::from_values(&s.values());
         assert_eq!(s, back);
     }
 }

@@ -172,9 +172,9 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
     );
 
     let mut net = Network::new(nodes);
-    for i in 0..m {
-        for j in 0..n {
-            let capacity = supplies[i].min(demands[j]) as i64;
+    for (i, &supply) in supplies.iter().enumerate() {
+        for (j, &demand) in demands.iter().enumerate() {
+            let capacity = supply.min(demand) as i64;
             net.add_arc(
                 i as u32,
                 (m + j) as u32,

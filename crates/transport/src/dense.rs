@@ -41,12 +41,18 @@ impl DenseCost {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        DenseCost { rows: r, cols: c, data }
+        DenseCost {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Random matrix with entries in `range` (test convenience).
     pub fn random<R: Rng>(rows: usize, cols: usize, range: Range<u32>, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(range.clone())).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(range.clone()))
+            .collect();
         DenseCost { rows, cols, data }
     }
 
@@ -118,7 +124,7 @@ impl DenseCost {
     /// Returns a copy with one extra row of constant cost appended.
     pub fn with_extra_row(&self, value: u32) -> DenseCost {
         let mut data = self.data.clone();
-        data.extend(std::iter::repeat(value).take(self.cols));
+        data.extend(std::iter::repeat_n(value, self.cols));
         DenseCost {
             rows: self.rows + 1,
             cols: self.cols,

@@ -146,11 +146,7 @@ mod tests {
 
     #[test]
     fn textbook_3x3() {
-        let cost = DenseCost::from_rows(&[
-            &[4u32, 6, 8][..],
-            &[5, 8, 7][..],
-            &[6, 5, 7][..],
-        ]);
+        let cost = DenseCost::from_rows(&[&[4u32, 6, 8][..], &[5, 8, 7][..], &[6, 5, 7][..]]);
         let supplies = [200u64, 300, 400];
         let demands = [200u64, 300, 400];
         // All three independent solvers must agree; SSP is the reference.

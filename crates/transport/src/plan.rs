@@ -113,7 +113,11 @@ mod tests {
     fn verify_catches_imbalance() {
         let cost = DenseCost::from_rows(&[&[1u32][..]]);
         let plan = TransportPlan {
-            flows: vec![FlowEntry { row: 0, col: 0, flow: 3 }],
+            flows: vec![FlowEntry {
+                row: 0,
+                col: 0,
+                flow: 3,
+            }],
             total_cost: 3,
             total_flow: 3,
         };
@@ -126,7 +130,11 @@ mod tests {
     fn verify_catches_wrong_cost() {
         let cost = DenseCost::from_rows(&[&[5u32][..]]);
         let plan = TransportPlan {
-            flows: vec![FlowEntry { row: 0, col: 0, flow: 2 }],
+            flows: vec![FlowEntry {
+                row: 0,
+                col: 0,
+                flow: 2,
+            }],
             total_cost: 9, // should be 10
             total_flow: 2,
         };

@@ -71,7 +71,9 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
             adj[cell.row as usize].push(k as u32);
             adj[m + cell.col as usize].push(k as u32);
         }
-        compute_duals(&basis, &adj, cost, m, &mut u, &mut v, &mut visit, &mut queue);
+        compute_duals(
+            &basis, &adj, cost, m, &mut u, &mut v, &mut visit, &mut queue,
+        );
 
         let entering = if bland {
             price_bland(cost, &u, &v, m, n)
@@ -302,10 +304,10 @@ fn price_bland(
     m: usize,
     _n: usize,
 ) -> Option<(usize, usize)> {
-    for i in 0..m {
+    for (i, &ui) in u.iter().enumerate().take(m) {
         let row = cost.row(i);
         for (j, &c) in row.iter().enumerate() {
-            if (c as i64) - u[i] - v[j] < 0 {
+            if (c as i64) - ui - v[j] < 0 {
                 return Some((i, j));
             }
         }
@@ -351,7 +353,10 @@ fn tree_path(
             }
         }
     }
-    debug_assert!(parent_cell[to as usize] != UNVISITED, "tree must connect nodes");
+    debug_assert!(
+        parent_cell[to as usize] != UNVISITED,
+        "tree must connect nodes"
+    );
 
     // Walk parents back from `to`, then reverse to get from-first order.
     let mut path = Vec::new();

@@ -82,7 +82,10 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
             .map(|j| (j, dist[m + j]))
             .min_by_key(|&(_, d)| d)
             .expect("balanced problem: demand remains while supply remains");
-        assert!(d_target != u64::MAX, "dense bipartite graph must reach demand");
+        assert!(
+            d_target != u64::MAX,
+            "dense bipartite graph must reach demand"
+        );
 
         // Potential update capped at the target's distance keeps all
         // residual reduced costs non-negative.

@@ -7,8 +7,8 @@
 //!
 //! Run with `cargo run --release --example anomaly_detection`.
 
-use snd::analysis::{anomaly_scores, top_k_anomalies};
 use snd::analysis::series::processed_series;
+use snd::analysis::{anomaly_scores, top_k_anomalies};
 use snd::baselines::{Hamming, QuadForm, StateDistance, WalkDist};
 use snd::core::{SndConfig, SndEngine};
 use snd::data::{generate_series, SyntheticSeriesConfig};
@@ -42,11 +42,20 @@ fn main() {
     let measures: Vec<(&str, Vec<f64>)> = vec![
         ("SND", snd_series),
         ("hamming", baseline_series(&Hamming, &series)),
-        ("quad-form", baseline_series(&QuadForm::new(&series.graph), &series)),
-        ("walk-dist", baseline_series(&WalkDist::new(&series.graph), &series)),
+        (
+            "quad-form",
+            baseline_series(&QuadForm::new(&series.graph), &series),
+        ),
+        (
+            "walk-dist",
+            baseline_series(&WalkDist::new(&series.graph), &series),
+        ),
     ];
 
-    println!("\n{:>4} {:>8} {:>8} {:>8} {:>8}  planted", "t", "SND", "hamming", "quad", "walk");
+    println!(
+        "\n{:>4} {:>8} {:>8} {:>8} {:>8}  planted",
+        "t", "SND", "hamming", "quad", "walk"
+    );
     for t in 0..series.labels.len() {
         println!(
             "{:>4} {:>8.3} {:>8.3} {:>8.3} {:>8.3}  {}",
@@ -55,7 +64,11 @@ fn main() {
             measures[1].1[t],
             measures[2].1[t],
             measures[3].1[t],
-            if series.labels[t] { "  <== anomaly" } else { "" }
+            if series.labels[t] {
+                "  <== anomaly"
+            } else {
+                ""
+            }
         );
     }
 
@@ -69,14 +82,6 @@ fn main() {
     }
 }
 
-fn baseline_series<D: StateDistance>(
-    dist: &D,
-    series: &snd::data::SyntheticSeries,
-) -> Vec<f64> {
-    let raw: Vec<f64> = series
-        .states
-        .windows(2)
-        .map(|w| dist.distance(&w[0], &w[1]))
-        .collect();
-    processed_series(&raw, &series.states)
+fn baseline_series<D: StateDistance>(dist: &D, series: &snd::data::SyntheticSeries) -> Vec<f64> {
+    processed_series(&dist.series(&series.states), &series.states)
 }

@@ -47,5 +47,10 @@ fn report(
 ) {
     let snd = engine.distance(from, to);
     let l1 = L1.distance(from, to);
-    println!("{:>6} {:>10.1} {:>8.0}   {kind}", from.diff_count(to), snd, l1);
+    println!(
+        "{:>6} {:>10.1} {:>8.0}   {kind}",
+        from.diff_count(to),
+        snd,
+        l1
+    );
 }

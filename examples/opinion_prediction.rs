@@ -7,7 +7,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use snd::analysis::{
-    accuracy, distance_based_prediction, extrapolate_linear, select_targets,
+    accuracy, distance_based_prediction_batch, extrapolate_linear, select_targets,
 };
 use snd::baselines::predict::{community_lp, detect_communities, nhood_voting};
 use snd::core::{OrderedSnd, SndConfig, SndEngine};
@@ -49,10 +49,11 @@ fn main() {
     let d_star = extrapolate_linear(&[d1, d2]);
     println!("recent SND distances: {d1:.2}, {d2:.2}  ->  d* = {d_star:.2}");
 
-    // Randomized assignment search with cached SSSP rows.
+    // Randomized assignment search: the candidate batch is priced in
+    // parallel against the anchor's shared SSSP row cache.
     let ordered = OrderedSnd::new(&engine, states[t - 1].clone());
-    let predicted = distance_based_prediction(
-        |candidate| ordered.distance_to(candidate),
+    let predicted = distance_based_prediction_batch(
+        |candidates| ordered.distances_to(candidates),
         d_star,
         &known,
         &targets,
@@ -60,7 +61,10 @@ fn main() {
         &mut rng,
     );
     let snd_acc = accuracy(&predicted, &truth, &targets);
-    println!("SND-based prediction accuracy:      {:.1}%", 100.0 * snd_acc);
+    println!(
+        "SND-based prediction accuracy:      {:.1}%",
+        100.0 * snd_acc
+    );
     println!("(cached SSSP rows: {})", ordered.cached_rows());
 
     // Baselines.

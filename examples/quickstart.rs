@@ -2,11 +2,11 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use snd::core::{SndConfig, SndEngine};
 use snd::graph::generators::barabasi_albert;
 use snd::models::{NetworkState, Opinion};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(42);

@@ -62,7 +62,12 @@ fn main() {
     let exemplars: Vec<(snd::models::NetworkState, &str)> = states
         .iter()
         .enumerate()
-        .map(|(i, s)| (s.clone(), if i < regime_a { "organic" } else { "scrambled" }))
+        .map(|(i, s)| {
+            (
+                s.clone(),
+                if i < regime_a { "organic" } else { "scrambled" },
+            )
+        })
         .collect();
     let fresh = random_activation_step(&organic.graph, &organic.states[2], 30, &mut rng);
     let label = classify_1nn(&dist, &exemplars, &fresh).unwrap();

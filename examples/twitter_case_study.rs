@@ -74,10 +74,5 @@ fn main() {
 }
 
 fn baseline<D: StateDistance>(dist: &D, sim: &snd::data::TwitterSim) -> Vec<f64> {
-    let raw: Vec<f64> = sim
-        .states
-        .windows(2)
-        .map(|w| dist.distance(&w[0], &w[1]))
-        .collect();
-    processed_series(&raw, &sim.states)
+    processed_series(&dist.series(&sim.states), &sim.states)
 }

@@ -33,6 +33,65 @@
 //! let d = engine.distance(&before, &after);
 //! assert!(d > 0.0);
 //! ```
+//!
+//! ## Batch evaluation
+//!
+//! The evaluation workloads that dominate in practice are *all-pairs*
+//! regimes: anomaly detection over a snapshot series, clustering and
+//! nearest-neighbor search over a snapshot set. Evaluated one
+//! [`distance`](core::SndEngine::distance) at a time they redo the same
+//! per-state work `T − 1` times. The batch entry points restructure this:
+//!
+//! * [`SndEngine::pairwise_distances`](core::SndEngine::pairwise_distances)
+//!   — full `T × T` [`DistanceMatrix`](core::DistanceMatrix): ground
+//!   geometry computed once per state, every `(ground state, opinion,
+//!   direction, node)` SSSP row computed at most once into a shared
+//!   [`RowCache`](core::RowCache), and all `4·T·(T−1)/2` EMD\* terms
+//!   fanned out over the thread pool.
+//! * [`SndEngine::series_distances`](core::SndEngine::series_distances) —
+//!   the adjacent-pair series, parallel with the same per-state sharing.
+//! * [`OrderedSnd::distances_to`](core::OrderedSnd::distances_to) — a
+//!   candidate batch priced in parallel against one anchored ground state
+//!   (the opinion-prediction search loop).
+//!
+//! ```
+//! use snd::core::{SndConfig, SndEngine};
+//! use snd::graph::generators::path_graph;
+//! use snd::models::NetworkState;
+//!
+//! let graph = path_graph(8);
+//! let engine = SndEngine::new(&graph, SndConfig::default());
+//! let snapshots = vec![
+//!     NetworkState::from_values(&[1, 0, 0, 0, 0, 0, 0, 0]),
+//!     NetworkState::from_values(&[1, 1, 0, 0, 0, 0, 0, -1]),
+//!     NetworkState::from_values(&[1, 1, 1, 0, 0, 0, -1, -1]),
+//! ];
+//! let matrix = engine.pairwise_distances(&snapshots);
+//! assert_eq!(matrix.size(), 3);
+//! assert_eq!(matrix.at(0, 2), matrix.at(2, 0)); // symmetric
+//! assert_eq!(matrix.adjacent().len(), 2); // the series, for free
+//! ```
+//!
+//! ## Threading model
+//!
+//! [`SndEngine`](core::SndEngine) is immutable after construction and
+//! `Sync`: **share one engine by reference across threads** rather than
+//! building one per thread (construction computes the bank clustering).
+//! Parallelism is otherwise internal — the batch calls above saturate the
+//! machine on their own, and even a single
+//! [`breakdown`](core::SndEngine::breakdown) computes its four Eq. 3 terms
+//! concurrently. Parallel results are **bit-identical** to sequential
+//! evaluation (`*_seq` reference paths exist on the engine, and
+//! `tests/batch_parallel.rs` asserts equality property-style): terms are
+//! independent exact integer solves reduced in a fixed order, and cached
+//! SSSP rows hold exactly what recomputation would produce.
+//!
+//! Per-thread SSSP scratch buffers
+//! ([`SsspScratch`](graph::SsspScratch)) make row computation
+//! allocation-free after warmup; the measured effect of caching + fan-out
+//! on the 32-snapshot × 10k-node all-pairs workload is recorded in
+//! `BENCH_pairwise.json` at the repo root (regenerate with
+//! `cargo bench -p snd-bench --bench pairwise_matrix`).
 
 pub use snd_analysis as analysis;
 pub use snd_baselines as baselines;

@@ -12,7 +12,10 @@ use snd::models::{
 };
 
 fn engine_for(graph: &snd::graph::CsrGraph, model: SpreadingModel) -> SndEngine<'_> {
-    SndEngine::new(graph, SndConfig::with_ground(GroundCostConfig::with_model(model)))
+    SndEngine::new(
+        graph,
+        SndConfig::with_ground(GroundCostConfig::with_model(model)),
+    )
 }
 
 #[test]
@@ -22,10 +25,7 @@ fn agnostic_ground_prefers_friendly_paths() {
     let g = snd::graph::generators::path_graph(7);
     // 0(+) - 1(+) - 2(0) - 3(0) - 4(-) - 5(-) - 6(0)
     let base = NetworkState::from_values(&[1, 1, 0, 0, -1, -1, 0]);
-    let engine = engine_for(
-        &g,
-        SpreadingModel::Agnostic(AgnosticPenalties::default()),
-    );
+    let engine = engine_for(&g, SpreadingModel::Agnostic(AgnosticPenalties::default()));
     let mut near_friendly = base.clone();
     near_friendly.set(2, Opinion::Positive); // next to the + camp
     let mut behind_adverse = base.clone();
@@ -79,8 +79,8 @@ fn icc_ground_distance_is_model_specific() {
     let g = barabasi_albert(300, 3, &mut rng);
     let a = seed_initial_adopters(300, 30, &mut rng);
     let b = random_activation_step(&g, &a, 25, &mut rng);
-    let d_agnostic = engine_for(&g, SpreadingModel::Agnostic(AgnosticPenalties::default()))
-        .distance(&a, &b);
+    let d_agnostic =
+        engine_for(&g, SpreadingModel::Agnostic(AgnosticPenalties::default())).distance(&a, &b);
     let d_icc = engine_for(&g, SpreadingModel::Icc(IccParams::default())).distance(&a, &b);
     let d_ltc = engine_for(&g, SpreadingModel::Ltc(LtcParams::default())).distance(&a, &b);
     assert!(d_agnostic > 0.0 && d_icc > 0.0 && d_ltc > 0.0);

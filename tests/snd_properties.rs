@@ -1,11 +1,11 @@
 //! Property-based tests of SND's core guarantees, spanning crates.
 
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use snd::core::{ClusterSpec, SndConfig, SndEngine};
 use snd::graph::generators::erdos_renyi_gnp;
 use snd::models::NetworkState;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn arb_state(n: usize) -> impl Strategy<Value = NetworkState> {
     proptest::collection::vec(-1i8..=1, n).prop_map(|v| NetworkState::from_values(&v))

@@ -78,9 +78,9 @@ proptest! {
         let total: u128 = supplies.iter().map(|&s| s as u128).sum();
         // Proportional plan cost (fractional, so compare in f64).
         let mut proportional = 0.0f64;
-        for i in 0..m {
-            for j in 0..n {
-                let f = supplies[i] as f64 * demands[j] as f64 / total as f64;
+        for (i, &supply) in supplies.iter().enumerate() {
+            for (j, &demand) in demands.iter().enumerate() {
+                let f = supply as f64 * demand as f64 / total as f64;
                 proportional += f * cost.at(i, j) as f64;
             }
         }

@@ -1,0 +1,312 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's benches
+//! use — `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `black_box` —
+//! with a straightforward measurement loop: a warmup phase sizes the
+//! per-sample iteration count, then `sample_size` samples are timed and
+//! min/mean/max per-iteration times are printed.
+//!
+//! Results additionally accumulate into a process-global list so a bench
+//! binary can post-process its own measurements (see
+//! [`take_measurements`]) — the hook the repo uses to write bench-history
+//! JSON artifacts.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One recorded measurement, exposed via [`take_measurements`].
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/function/param` identifier.
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest sample, seconds per iteration.
+    pub min_s: f64,
+    /// Slowest sample, seconds per iteration.
+    pub max_s: f64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far in this process.
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().expect("measurement log poisoned"))
+}
+
+/// Parameterized benchmark identifier (`name/param`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// A bare-parameter id (criterion's `from_parameter`).
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The `group/...` suffix for this id.
+    fn into_id_string(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id_string(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id_string(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id_string(self) -> String {
+        self
+    }
+}
+
+/// The timing loop driver passed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a GroupConfig,
+    id: String,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, printing and recording per-iteration statistics.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warmup: run until the warmup budget is spent, counting runs to
+        // size each measured sample at roughly sample_budget time.
+        let warmup_budget = self.cfg.warmup_time;
+        let start = Instant::now();
+        let mut warmup_runs = 0u64;
+        while start.elapsed() < warmup_budget || warmup_runs == 0 {
+            black_box(routine());
+            warmup_runs += 1;
+            if warmup_runs >= 1_000_000 {
+                break;
+            }
+        }
+        let per_run = start.elapsed().as_secs_f64() / warmup_runs as f64;
+        let samples = self.cfg.sample_size.max(2);
+        let sample_budget = self.cfg.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((sample_budget / per_run.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            times.push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{:<48} time: [{} {} {}]  ({} samples x {} iters)",
+            self.id,
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            samples,
+            iters_per_sample
+        );
+        MEASUREMENTS
+            .lock()
+            .expect("measurement log poisoned")
+            .push(Measurement {
+                id: self.id.clone(),
+                mean_s: mean,
+                min_s: min,
+                max_s: max,
+                samples,
+            });
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[derive(Clone)]
+struct GroupConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warmup_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warmup_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: GroupConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Sets the warmup budget per benchmark.
+    pub fn warmup_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warmup_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            id: format!("{}/{}", self.name, id.into_id_string()),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            id: format!("{}/{}", self.name, id.into_id_string()),
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group (reporting is immediate, so this is a marker).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: GroupConfig::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = GroupConfig::default();
+        let mut b = Bencher {
+            cfg: &cfg,
+            id: id.into_id_string(),
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_records_measurements() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3)
+                .measurement_time(Duration::from_millis(30))
+                .warmup_time(Duration::from_millis(5));
+            g.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+                b.iter(|| black_box(x) + 1)
+            });
+            g.finish();
+        }
+        let ms = take_measurements();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].id, "unit/add/1");
+        assert!(ms[0].mean_s >= 0.0 && ms[0].min_s <= ms[0].max_s);
+        assert!(take_measurements().is_empty(), "drained");
+    }
+}

@@ -1,0 +1,283 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset of rayon this workspace uses with genuinely
+//! parallel execution:
+//!
+//! * [`join`] — run two closures concurrently;
+//! * [`prelude`] — `par_iter()` on slices/`Vec` and `into_par_iter()` on
+//!   `Range<usize>`, with `map(..).collect()`, `for_each`, and `sum`.
+//!
+//! Scheduling: each parallel call spawns up to [`current_num_threads`]
+//! scoped workers that claim items off a shared atomic counter (dynamic
+//! load balancing — important here because SND work items vary wildly in
+//! cost with `n∆`). Results are written back by item index, so `collect`
+//! preserves input order and is deterministic regardless of interleaving.
+//!
+//! Unlike real rayon there is no global pool: workers are plain scoped
+//! threads created per call. The workspace only uses coarse-grained items
+//! (an SSSP run or a transportation solve at minimum), so per-call thread
+//! setup is noise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Core executor: applies `f` to every index in `0..len` on a dynamic
+/// worker pool and returns the results in index order.
+fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker skipped an item")
+        })
+        .collect()
+}
+
+/// Parallel view of a slice (from `par_iter()`).
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+/// `par_iter().map(f)` over a slice.
+pub struct ParSliceMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Maps every element (lazily; executed by a consuming method).
+    pub fn map<R, F>(self, f: F) -> ParSliceMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParSliceMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_indexed(self.items.len(), |i| f(&self.items[i]));
+    }
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParSliceMap<'a, T, F> {
+    /// Executes the map in parallel and collects in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_indexed(self.items.len(), |i| (self.f)(&self.items[i]))
+            .into_iter()
+            .collect()
+    }
+
+    /// Executes the map in parallel and sums the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        run_indexed(self.items.len(), |i| (self.f)(&self.items[i]))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Parallel iterator over an index range (from `into_par_iter()`).
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+/// `into_par_iter().map(f)` over an index range.
+pub struct ParRangeMap<F> {
+    range: std::ops::Range<usize>,
+    f: F,
+}
+
+impl ParRange {
+    /// Maps every index (lazily; executed by a consuming method).
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Runs `f` on every index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let base = self.range.start;
+        run_indexed(self.range.len(), |i| f(base + i));
+    }
+}
+
+impl<R: Send, F: Fn(usize) -> R + Sync> ParRangeMap<F> {
+    /// Executes the map in parallel and collects in index order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let base = self.range.start;
+        run_indexed(self.range.len(), |i| (self.f)(base + i))
+            .into_iter()
+            .collect()
+    }
+
+    /// Executes the map in parallel and sums the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        let base = self.range.start;
+        run_indexed(self.range.len(), |i| (self.f)(base + i))
+            .into_iter()
+            .sum()
+    }
+}
+
+pub mod prelude {
+    //! Traits providing `par_iter` / `into_par_iter`, as in real rayon.
+
+    use super::{ParRange, ParSlice};
+
+    /// `par_iter()` for by-reference parallel iteration.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+        /// Parallel view of `self`.
+        fn par_iter(&'a self) -> ParSlice<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParSlice<'a, T> {
+            ParSlice { items: self }
+        }
+    }
+
+    /// `into_par_iter()` for by-value parallel iteration.
+    pub trait IntoParallelIterator {
+        /// The parallel iterator type.
+        type Iter;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1_000usize).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+        let squares: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        if current_num_threads() < 2 {
+            return; // single-core runner: nothing to check
+        }
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..64usize).into_par_iter().for_each(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert!(ids.lock().unwrap().len() > 1, "expected multiple workers");
+    }
+}
