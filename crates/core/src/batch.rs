@@ -21,6 +21,13 @@
 //! an exact integer transportation solve, cached rows hold exactly what
 //! recomputation would produce, and per-pair terms are reduced in a fixed
 //! order. The property tests in `tests/batch_parallel.rs` assert this.
+//!
+//! In the *warm* regime (`pairwise_distances_with` over pre-filled
+//! bundles) every SSSP row is a cache hit and the per-term cost is almost
+//! entirely the exact transportation solve — which is why the solver layer
+//! (per-instance `Solver::Auto` selection, anti-cycling block-priced
+//! simplex) is the lever for this path; see `BENCH_pairwise.json` /
+//! `BENCH_solver.json` for the tracked numbers.
 
 use rayon::prelude::*;
 use snd_models::NetworkState;

@@ -80,7 +80,11 @@ pub struct SndConfig {
     pub per_bin_gamma: u32,
     /// Fixed-point scale for histogram masses.
     pub scale: u64,
-    /// Transportation solver for the (reduced or full) problem.
+    /// Transportation solver for the (reduced or full) problem. The default
+    /// [`Solver::Auto`] sizes the choice per reduced instance (single-line
+    /// shortcut, cost-scaling for column-heavy shapes, block-priced simplex
+    /// otherwise — see `snd_transport::select_solver`); pin a concrete
+    /// solver for cross-validation runs.
     pub solver: Solver,
 }
 
@@ -93,7 +97,7 @@ impl Default for SndConfig {
             gamma: GammaPolicy::Eccentricity,
             per_bin_gamma: 1,
             scale: snd_emd::DEFAULT_SCALE,
-            solver: Solver::Simplex,
+            solver: Solver::Auto,
         }
     }
 }

@@ -11,6 +11,12 @@
 //! over all cores. Results are bit-identical to a sequential evaluation:
 //! every term is an independent exact computation and reductions happen in
 //! a fixed order.
+//!
+//! Parallelism nests safely: terms running on the shared rayon pool may
+//! themselves hit the transportation simplex's parallel pricing (large
+//! reduced instances under the default `Solver::Auto`); the pool's
+//! caller-participation guarantee means inner fan-outs always progress
+//! even with every worker busy on outer terms.
 
 use snd_graph::{bfs_partition, label_propagation, whole_graph_cluster, Clustering, CsrGraph};
 use snd_models::{NetworkState, Opinion};

@@ -18,6 +18,11 @@
 //!
 //! Masses are fixed-point integers (see [`Histogram`]); distances are
 //! returned as `f64` in ground-cost units.
+//!
+//! Every distance takes a [`Solver`]; pass [`Solver::Auto`] to let the
+//! transport layer size the choice per instance (the tests pin
+//! `Solver::Simplex` so cross-solver disagreements surface as test
+//! failures rather than silent selection changes).
 
 pub mod alpha;
 pub mod classic;

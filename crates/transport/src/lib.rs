@@ -14,10 +14,23 @@
 //!   algorithm family behind the CS2 solver used by the paper (§6.5) and by
 //!   Theorem 4's complexity bound.
 //!
+//! [`Solver::Auto`] picks among them per instance (see [`select_solver`]),
+//! and single-row/column instances short-circuit to their forced plan
+//! without running any solver.
+//!
 //! The entry points are [`solve_balanced`] (total supply must equal total
 //! demand — the case produced by EMD\*'s bank-bin extension) and
 //! [`solve_unbalanced`] (classic-EMD semantics: only `min(ΣP, ΣQ)` mass
 //! moves; the surplus is absorbed by a zero-cost dummy node).
+//!
+//! # Overflow semantics
+//!
+//! No solver panics on instance magnitude. The simplex prices on the rayon
+//! pool for large instances ([`simplex::solve_par`] is property-tested
+//! bit-identical to [`simplex::solve_seq`]); cost-scaling widens its scaled
+//! potentials to `i128` when `u32`-sized costs on large node counts exceed
+//! the `i64` headroom, and falls back to SSP for masses beyond `i64::MAX`
+//! (see [`cost_scaling`]'s module docs).
 
 pub mod cost_scaling;
 pub mod dense;
@@ -26,7 +39,7 @@ pub mod simplex;
 pub mod ssp;
 
 pub use dense::DenseCost;
-pub use plan::{verify_feasible, TransportPlan};
+pub use plan::{verify_feasible, FlowEntry, TransportPlan};
 
 /// Fixed-point mass unit.
 pub type Mass = u64;
@@ -41,6 +54,88 @@ pub enum Solver {
     Ssp,
     /// Cost-scaling push–relabel.
     CostScaling,
+    /// Pick per instance from its shape ([`select_solver`]); single-line
+    /// instances bypass the solvers entirely.
+    Auto,
+}
+
+/// Aspect ratio (`cols / rows`) from which [`select_solver`] prefers
+/// cost-scaling over the simplex.
+pub const WIDE_ASPECT: usize = 128;
+
+/// Picks the solver for a (zero-stripped) balanced instance.
+///
+/// Takes the instance itself rather than pre-extracted statistics so that
+/// magnitude scans (max cost is an `O(m·n)` pass) happen only if a
+/// threshold actually consults them — the current thresholds are purely
+/// shape-based, so selection is `O(1)`.
+///
+/// Calibrated against the `solver_scaling` bench (`BENCH_solver.json`) on
+/// the dense bipartite shapes SND produces:
+///
+/// * The transportation simplex wins every near-square shape at every
+///   measured size and cost magnitude — ~2× over SSP at 4×4 growing to
+///   ~5–6× at 128×128, and 1.2–2× over cost-scaling there — so it is the
+///   default.
+/// * Cost-scaling wins *column-heavy* shapes, `cols ≳ 128·rows` (2.6× at
+///   4×1024 with a margin that grows with the aspect ratio; ~40× at
+///   1×4096): the simplex's row-minimum start scans every open column per
+///   allocation, degrading toward `O(cols²)` when rows are few. These
+///   shapes are real in the warm path — a nearly-identical snapshot pair
+///   has few residual rows but bank columns on every active bin. The
+///   transposed case (`rows ≫ cols`) stays with the simplex, whose start
+///   is cheap there (measured 5× faster than cost-scaling at 256×4).
+/// * SSP never wins a measured shape; it remains the cross-validation
+///   oracle and the structured fallback for beyond-`i64` masses.
+///
+/// Cost and mass magnitudes stay available through `cost`/`supplies` for
+/// future recalibration: cost magnitude moves cost-scaling's phase count
+/// (`∝ log(max_cost)`, which halves its wide-shape margin at `u32::MAX`
+/// costs) and total mass decides the fallback inside cost-scaling.
+pub fn select_solver(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Solver {
+    debug_assert_eq!(supplies.len(), cost.rows());
+    debug_assert_eq!(demands.len(), cost.cols());
+    if demands.len() >= WIDE_ASPECT * supplies.len().max(1) {
+        Solver::CostScaling
+    } else {
+        Solver::Simplex
+    }
+}
+
+/// The forced plan of a single-row or single-column balanced instance:
+/// every cell must carry exactly the opposite side's mass, so no pivoting
+/// or path search is needed. `None` for general shapes.
+fn solve_line(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Option<TransportPlan> {
+    let flows: Vec<FlowEntry> = if supplies.len() == 1 {
+        demands
+            .iter()
+            .enumerate()
+            .map(|(j, &d)| FlowEntry {
+                row: 0,
+                col: j as u32,
+                flow: d,
+            })
+            .collect()
+    } else if demands.len() == 1 {
+        supplies
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| FlowEntry {
+                row: i as u32,
+                col: 0,
+                flow: s,
+            })
+            .collect()
+    } else {
+        return None;
+    };
+    let mut plan = TransportPlan {
+        flows,
+        total_cost: 0,
+        total_flow: 0,
+    };
+    plan.recompute_totals(cost);
+    Some(plan)
 }
 
 /// Solves a balanced transportation problem (`Σ supplies == Σ demands`).
@@ -73,10 +168,25 @@ pub fn solve_balanced(
     let sub_demands: Vec<Mass> = cols.iter().map(|&j| demands[j]).collect();
     let sub_cost = cost.submatrix(&rows, &cols);
 
+    let solver = match solver {
+        Solver::Auto => {
+            // Single-line instances have a forced plan — skip solving.
+            if let Some(mut plan) = solve_line(&sub_supplies, &sub_demands, &sub_cost) {
+                for entry in &mut plan.flows {
+                    entry.row = rows[entry.row as usize] as u32;
+                    entry.col = cols[entry.col as usize] as u32;
+                }
+                return plan;
+            }
+            select_solver(&sub_supplies, &sub_demands, &sub_cost)
+        }
+        s => s,
+    };
     let mut plan = match solver {
         Solver::Simplex => simplex::solve(&sub_supplies, &sub_demands, &sub_cost),
         Solver::Ssp => ssp::solve(&sub_supplies, &sub_demands, &sub_cost),
         Solver::CostScaling => cost_scaling::solve(&sub_supplies, &sub_demands, &sub_cost),
+        Solver::Auto => unreachable!("Auto resolved above"),
     };
     // Map flows back to original indices.
     for entry in &mut plan.flows {
@@ -130,8 +240,13 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
-    fn all_solvers() -> [Solver; 3] {
-        [Solver::Simplex, Solver::Ssp, Solver::CostScaling]
+    fn all_solvers() -> [Solver; 4] {
+        [
+            Solver::Simplex,
+            Solver::Ssp,
+            Solver::CostScaling,
+            Solver::Auto,
+        ]
     }
 
     #[test]
@@ -228,5 +343,30 @@ mod tests {
         let cost = DenseCost::from_rows(&[&[u32::MAX / 4][..]]);
         let plan = solve_balanced(&[big], &[big], &cost, Solver::Simplex);
         assert_eq!(plan.total_cost, (big as i128) * ((u32::MAX / 4) as i128));
+    }
+
+    #[test]
+    fn auto_line_shortcut_matches_solvers() {
+        // 1×n and m×1 shapes: Auto's forced plan equals a real solve.
+        let cost = DenseCost::from_rows(&[&[3u32, 1, 4][..]]);
+        let auto = solve_balanced(&[9], &[2, 3, 4], &cost, Solver::Auto);
+        let simplex = solve_balanced(&[9], &[2, 3, 4], &cost, Solver::Simplex);
+        assert_eq!(auto, simplex);
+        let cost_t = DenseCost::from_rows(&[&[3u32][..], &[1][..], &[4][..]]);
+        let auto = solve_balanced(&[2, 3, 4], &[9], &cost_t, Solver::Auto);
+        let ssp = solve_balanced(&[2, 3, 4], &[9], &cost_t, Solver::Ssp);
+        assert_eq!(auto.total_cost, ssp.total_cost);
+        verify_feasible(&auto, &[2, 3, 4], &[9], &cost_t).unwrap();
+    }
+
+    #[test]
+    fn auto_strips_zeros_before_classifying_shape() {
+        // Two rows, but one is empty: after Lemma-1 stripping this is a
+        // 1×2 line instance; the flows must map back to original indices.
+        let cost = DenseCost::from_rows(&[&[9u32, 9][..], &[2, 5][..]]);
+        let plan = solve_balanced(&[0, 7], &[4, 3], &cost, Solver::Auto);
+        assert_eq!(plan.total_cost, 4 * 2 + 3 * 5);
+        verify_feasible(&plan, &[0, 7], &[4, 3], &cost).unwrap();
+        assert!(plan.flows.iter().all(|f| f.row == 1));
     }
 }

@@ -16,7 +16,10 @@ pub struct FlowEntry {
 }
 
 /// An optimal transportation plan.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality is exact (flow list, cost, and mass) — the relation the
+/// parallel-vs-sequential bit-identical property tests assert on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TransportPlan {
     /// Non-zero flow cells.
     pub flows: Vec<FlowEntry>,

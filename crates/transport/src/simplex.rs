@@ -15,14 +15,31 @@
 //! * Pricing: block search à la LEMON's network simplex — scan cells in
 //!   blocks of ≈√(mn), entering on the most negative reduced cost seen in
 //!   the first block that contains one. Optimality is declared only after a
-//!   full wrap-around without a negative cell.
-//! * Anti-cycling: degenerate pivots are permitted; if an instance exceeds a
-//!   generous pivot budget the pricing falls back to Bland's rule (first
-//!   negative cell in index order), which provably terminates.
+//!   full wrap-around without a negative cell. On large instances
+//!   ([`solve`] auto-dispatches, [`solve_par`] forces it) the blocks of a
+//!   pricing round are scanned concurrently on the rayon pool in waves and
+//!   reduced deterministically: the entering cell is always the same one
+//!   the sequential scan would pick, so [`solve_par`] and [`solve_seq`]
+//!   are bit-identical (property-tested in `tests/transport_properties.rs`).
+//! * Anti-cycling: degenerate pivots are permitted, but a run of more than
+//!   `2·(m + n) + 32` consecutive non-improving pivots switches the pivot
+//!   to Bland's rule — entering on the first negative cell in (row, col)
+//!   order *and* breaking leaving-edge θ-ties by the same (row, col) order
+//!   (Bland's theorem needs the smallest-index choice on both sides) —
+//!   which provably admits no cycle; the first improving pivot switches
+//!   back. Termination: improving pivots strictly decrease the (integer)
+//!   objective and are therefore finite in number, and between two of them
+//!   at most `streak_limit` block-priced degenerate pivots are followed by
+//!   Bland-priced pivots, which cannot cycle.
 
 use crate::dense::DenseCost;
 use crate::plan::{FlowEntry, TransportPlan};
 use crate::Mass;
+use rayon::prelude::*;
+
+/// Minimum number of cells before [`solve`] prices on the thread pool; below
+/// this the per-round fan-out overhead outweighs the scan.
+const PAR_PRICING_MIN_CELLS: usize = 1 << 14;
 
 #[derive(Clone, Copy, Debug)]
 struct BasisCell {
@@ -33,7 +50,58 @@ struct BasisCell {
 
 /// Solves a balanced transportation problem with all-positive supplies and
 /// demands (callers strip zeros first; see [`crate::solve_balanced`]).
+///
+/// Pricing runs on the rayon pool when the instance is large enough to pay
+/// for the fan-out and more than one thread is available; the result is
+/// bit-identical either way.
 pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> TransportPlan {
+    let parallel =
+        supplies.len() * demands.len() >= PAR_PRICING_MIN_CELLS && rayon::current_num_threads() > 1;
+    solve_impl(
+        supplies,
+        demands,
+        cost,
+        parallel,
+        default_streak_limit(supplies, demands),
+    )
+}
+
+/// [`solve`] with pricing forced onto the sequential path — the reference
+/// implementation the parallel path is property-tested against.
+pub fn solve_seq(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> TransportPlan {
+    solve_impl(
+        supplies,
+        demands,
+        cost,
+        false,
+        default_streak_limit(supplies, demands),
+    )
+}
+
+/// [`solve`] with pricing forced onto the parallel path regardless of
+/// instance size. Bit-identical to [`solve_seq`].
+pub fn solve_par(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> TransportPlan {
+    solve_impl(
+        supplies,
+        demands,
+        cost,
+        true,
+        default_streak_limit(supplies, demands),
+    )
+}
+
+/// Consecutive degenerate pivots tolerated before Bland's rule takes over.
+fn default_streak_limit(supplies: &[Mass], demands: &[Mass]) -> usize {
+    2 * (supplies.len() + demands.len()) + 32
+}
+
+fn solve_impl(
+    supplies: &[Mass],
+    demands: &[Mass],
+    cost: &DenseCost,
+    parallel: bool,
+    streak_limit: usize,
+) -> TransportPlan {
     let m = supplies.len();
     let n = demands.len();
     debug_assert!(m > 0 && n > 0);
@@ -57,10 +125,7 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
         .min(cells_total.max(1));
     let mut scan_pos = 0usize;
 
-    // Generous pivot budget before switching to Bland's rule; the budget is
-    // not hit in practice but guarantees termination under degeneracy.
-    let budget = 500 * (m + n) + 10_000;
-    let mut pivots = 0usize;
+    let mut degenerate_streak = 0usize;
     let mut bland = false;
 
     loop {
@@ -78,7 +143,7 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
         let entering = if bland {
             price_bland(cost, &u, &v, m, n)
         } else {
-            price_block(cost, &u, &v, n, block, &mut scan_pos)
+            price_blocks(cost, &u, &v, n, block, &mut scan_pos, parallel)
         };
         let Some((ei, ej)) = entering else {
             break; // optimal
@@ -98,13 +163,26 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
         // Walking the tree path from supplier ei towards consumer ej, the
         // first edge shares supplier ei's row with the entering cell, so the
         // path edges alternate "−", "+", "−", … starting at "−".
+        //
+        // Bland's no-cycling theorem needs Bland on *both* pivot choices:
+        // in Bland mode, θ-ties on the leaving edge break by smallest
+        // (row, col) — the same variable order `price_bland` scans — rather
+        // than by path position.
         let mut theta = Mass::MAX;
         let mut leaving_pos = usize::MAX;
         for (idx, &cell_id) in path.iter().enumerate() {
             if idx % 2 == 0 {
-                let f = basis[cell_id as usize].flow;
-                if f < theta {
-                    theta = f;
+                let cell = basis[cell_id as usize];
+                // First "−" edge is accepted unconditionally (no sentinel
+                // compare: `Mass::MAX` is a legal flow).
+                let better = leaving_pos == usize::MAX
+                    || cell.flow < theta
+                    || (bland && cell.flow == theta && {
+                        let cur = basis[path[leaving_pos] as usize];
+                        (cell.row, cell.col) < (cur.row, cur.col)
+                    });
+                if better {
+                    theta = cell.flow;
                     leaving_pos = idx;
                 }
             }
@@ -126,9 +204,17 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
             flow: theta,
         };
 
-        pivots += 1;
-        if pivots > budget && !bland {
-            bland = true;
+        // Anti-cycling bookkeeping: a long run of degenerate (θ = 0) pivots
+        // is the only way the simplex can stall, so Bland's rule takes over
+        // until an improving pivot breaks the streak.
+        if theta == 0 {
+            degenerate_streak += 1;
+            if degenerate_streak > streak_limit {
+                bland = true;
+            }
+        } else {
+            degenerate_streak = 0;
+            bland = false;
         }
     }
 
@@ -175,12 +261,13 @@ fn initial_basis(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Vec<B
                 i = 0;
             }
         }
-        // Cheapest open column in row i.
+        // Cheapest open column in row i. No cost sentinel: a row whose open
+        // columns all cost `u32::MAX` must still get an allocation.
         let row = cost.row(i);
         let mut best_j = usize::MAX;
-        let mut best_c = u32::MAX;
+        let mut best_c = 0u32;
         for (j, &open) in col_open.iter().enumerate() {
-            if open && row[j] < best_c {
+            if open && (best_j == usize::MAX || row[j] < best_c) {
                 best_c = row[j];
                 best_j = j;
             }
@@ -259,41 +346,92 @@ fn compute_duals(
     debug_assert_eq!(queue.len(), adj.len(), "basis must be a spanning tree");
 }
 
+/// Scans scan-order offsets `lo..hi` (relative to `start`, wrapping at
+/// `total`) and returns the most negative reduced cost with the earliest
+/// offset achieving it. The shared kernel of both pricing paths.
+#[allow(clippy::too_many_arguments)] // mirrors compute_duals: hot-loop slices stay unbundled
+fn scan_cells(
+    cost: &DenseCost,
+    u: &[i64],
+    v: &[i64],
+    n: usize,
+    start: usize,
+    total: usize,
+    lo: usize,
+    hi: usize,
+) -> Option<(i64, usize)> {
+    let mut best: Option<(i64, usize)> = None;
+    for off in lo..hi {
+        let mut pos = start + off;
+        if pos >= total {
+            pos -= total;
+        }
+        let i = pos / n;
+        let j = pos - i * n;
+        let r = cost.at(i, j) as i64 - u[i] - v[j];
+        if r < 0 && best.is_none_or(|(b, _)| r < b) {
+            best = Some((r, off));
+        }
+    }
+    best
+}
+
 /// Block pricing: scans cells cyclically in blocks, returning the most
 /// negative reduced-cost cell of the first block that has one.
-fn price_block(
+///
+/// `parallel` chooses how each wave of blocks is scanned — on the rayon
+/// pool or inline — but never *what* is returned: blocks are inspected in
+/// scan order and ties resolve to the earliest-scanned cell, so both modes
+/// pick the identical entering cell and leave `scan_pos` identical.
+fn price_blocks(
     cost: &DenseCost,
     u: &[i64],
     v: &[i64],
     n: usize,
     block: usize,
     scan_pos: &mut usize,
+    parallel: bool,
 ) -> Option<(usize, usize)> {
     let total = u.len() * n;
-    let mut examined = 0usize;
-    let mut best: Option<(i64, usize)> = None;
-    let mut pos = *scan_pos;
-    while examined < total {
-        let end_of_block = examined + block.min(total - examined);
-        while examined < end_of_block {
-            let i = pos / n;
-            let j = pos - i * n;
-            let r = cost.at(i, j) as i64 - u[i] - v[j];
-            if r < 0 && best.is_none_or(|(b, _)| r < b) {
-                best = Some((r, pos));
+    let start = *scan_pos;
+    let num_blocks = total.div_ceil(block);
+    let scan_block = |bk: usize| {
+        let lo = bk * block;
+        scan_cells(cost, u, v, n, start, total, lo, (lo + block).min(total))
+    };
+    let mut hit: Option<(usize, usize)> = None; // (block, offset)
+    if parallel {
+        // Waves of blocks fan out over the pool; the first block (in scan
+        // order) containing a negative cell wins, exactly as sequentially.
+        let wave = (rayon::current_num_threads() * 2).max(1);
+        let mut bk0 = 0;
+        'waves: while bk0 < num_blocks {
+            let bk1 = (bk0 + wave).min(num_blocks);
+            let results: Vec<Option<(i64, usize)>> =
+                (bk0..bk1).into_par_iter().map(scan_block).collect();
+            for (i, res) in results.into_iter().enumerate() {
+                if let Some((_, off)) = res {
+                    hit = Some((bk0 + i, off));
+                    break 'waves;
+                }
             }
-            pos += 1;
-            if pos == total {
-                pos = 0;
-            }
-            examined += 1;
+            bk0 = bk1;
         }
-        if let Some((_, p)) = best {
-            *scan_pos = pos;
-            return Some((p / n, p - (p / n) * n));
+    } else {
+        for bk in 0..num_blocks {
+            if let Some((_, off)) = scan_block(bk) {
+                hit = Some((bk, off));
+                break;
+            }
         }
     }
-    None
+    let (bk, off) = hit?;
+    *scan_pos = (start + ((bk + 1) * block).min(total)) % total;
+    let mut pos = start + off;
+    if pos >= total {
+        pos -= total;
+    }
+    Some((pos / n, pos - (pos / n) * n))
 }
 
 /// Bland's rule: first negative reduced-cost cell in index order.
@@ -376,6 +514,8 @@ fn tree_path(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn initial_basis_has_tree_size() {
@@ -393,6 +533,19 @@ mod tests {
         assert_eq!(recv, [5, 15, 10]);
     }
 
+    /// Regression (found by `tests/transport_fuzz.rs`): rows whose open
+    /// columns all cost exactly `u32::MAX` used to hit the `best_c`
+    /// sentinel and leave the row unallocated.
+    #[test]
+    fn saturated_max_costs_still_build_a_basis() {
+        let cost = DenseCost::filled(2, 2, u32::MAX);
+        let basis = initial_basis(&[3, 4], &[5, 2], &cost);
+        assert_eq!(basis.len(), 3);
+        let plan = solve(&[3, 4], &[5, 2], &cost);
+        assert_eq!(plan.total_flow, 7);
+        assert_eq!(plan.total_cost, 7 * u32::MAX as i128);
+    }
+
     #[test]
     fn degenerate_initial_basis_still_tree_sized() {
         // Supply and demand exhaust simultaneously mid-way.
@@ -407,5 +560,71 @@ mod tests {
         let cost = DenseCost::from_rows(&[&[0u32, 5, 5][..], &[5, 0, 5][..], &[5, 5, 0][..]]);
         let plan = solve(&[1, 2, 3], &[1, 2, 3], &cost);
         assert_eq!(plan.total_cost, 0);
+    }
+
+    /// Regression: maximally degenerate assignment-shaped instances (all
+    /// supplies/demands equal, heavy cost ties) must terminate and still be
+    /// optimal. These are the instances where every pivot moves θ = 0 and a
+    /// pricing rule without an anti-cycling safeguard can loop forever.
+    #[test]
+    fn degenerate_assignment_instances_terminate_optimally() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [4usize, 8, 12] {
+            // Two-valued cost matrix: maximal ties.
+            let data: Vec<u32> = (0..n * n).map(|_| u32::from(rng.gen_bool(0.5))).collect();
+            let cost = DenseCost::from_vec(n, n, data);
+            let unit = vec![1u64; n];
+            let reference = crate::ssp::solve(&unit, &unit, &cost);
+            let plan = solve(&unit, &unit, &cost);
+            assert_eq!(plan.total_cost, reference.total_cost, "n = {n}");
+            assert_eq!(plan.total_flow, n as u64);
+        }
+    }
+
+    /// Bland's rule is exercised directly by forcing the streak limit to
+    /// zero: the very first degenerate pivot flips pricing over, and the
+    /// result must still be the optimum.
+    #[test]
+    fn bland_fallback_is_optimal() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let m = rng.gen_range(2..6);
+            let n = rng.gen_range(2..6);
+            let cost = DenseCost::random(m, n, 0..4, &mut rng);
+            let mut supplies = vec![2u64; m];
+            let mut demands = vec![2u64; n];
+            let (ts, td) = (2 * m as u64, 2 * n as u64);
+            if ts > td {
+                demands[n - 1] += ts - td;
+            } else {
+                supplies[m - 1] += td - ts;
+            }
+            let reference = crate::ssp::solve(&supplies, &demands, &cost);
+            let plan = solve_impl(&supplies, &demands, &cost, false, 0);
+            assert_eq!(plan.total_cost, reference.total_cost, "trial {trial}");
+        }
+    }
+
+    /// In-module smoke check of parallel/sequential pricing equivalence;
+    /// the full property test lives in `tests/transport_properties.rs`.
+    #[test]
+    fn parallel_pricing_matches_sequential() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for trial in 0..10 {
+            let m = rng.gen_range(1..20);
+            let n = rng.gen_range(1..20);
+            let cost = DenseCost::random(m, n, 0..30, &mut rng);
+            let mut supplies: Vec<u64> = (0..m).map(|_| rng.gen_range(1..40)).collect();
+            let mut demands: Vec<u64> = (0..n).map(|_| rng.gen_range(1..40)).collect();
+            let (ts, td): (u64, u64) = (supplies.iter().sum(), demands.iter().sum());
+            if ts > td {
+                demands[n - 1] += ts - td;
+            } else {
+                supplies[m - 1] += td - ts;
+            }
+            let seq = solve_seq(&supplies, &demands, &cost);
+            let par = solve_par(&supplies, &demands, &cost);
+            assert_eq!(seq, par, "trial {trial}: plans must be bit-identical");
+        }
     }
 }

@@ -1,7 +1,9 @@
-//! Property-based cross-validation of the three transportation solvers.
+//! Property-based cross-validation of the transportation solvers.
 
 use proptest::prelude::*;
-use snd::transport::{solve_balanced, solve_unbalanced, verify_feasible, DenseCost, Solver};
+use snd::transport::{
+    simplex, solve_balanced, solve_unbalanced, verify_feasible, DenseCost, Solver,
+};
 
 fn balanced_instance(
     m: usize,
@@ -38,11 +40,34 @@ proptest! {
         let (supplies, demands, cost) = balanced_instance(m, n, &raw_s, &raw_d, &raw_c);
         let reference = solve_balanced(&supplies, &demands, &cost, Solver::Ssp);
         verify_feasible(&reference, &supplies, &demands, &cost).unwrap();
-        for solver in [Solver::Simplex, Solver::CostScaling] {
+        for solver in [Solver::Simplex, Solver::CostScaling, Solver::Auto] {
             let plan = solve_balanced(&supplies, &demands, &cost, solver);
             verify_feasible(&plan, &supplies, &demands, &cost).unwrap();
             prop_assert_eq!(plan.total_cost, reference.total_cost, "{:?}", solver);
         }
+    }
+
+    /// The parallel pricing path returns the *bit-identical* plan of the
+    /// sequential reference path — same entering cells, same basis walk,
+    /// same flow list — on shapes spanning both sides of the block size.
+    #[test]
+    fn parallel_simplex_pricing_is_bit_identical(
+        m in 1usize..24,
+        n in 1usize..24,
+        raw_s in proptest::collection::vec(0u64..60, 24),
+        raw_d in proptest::collection::vec(0u64..60, 24),
+        raw_c in proptest::collection::vec(0u32..80, 576),
+    ) {
+        let (mut supplies, mut demands, cost) = balanced_instance(m, n, &raw_s, &raw_d, &raw_c);
+        // The simplex entry points require all-positive lines; bump every
+        // entry then rebalance exactly.
+        for s in supplies.iter_mut() { *s += 1; }
+        for d in demands.iter_mut() { *d += 1; }
+        let (ts, td): (u64, u64) = (supplies.iter().sum(), demands.iter().sum());
+        if ts > td { demands[n - 1] += ts - td; } else { supplies[m - 1] += td - ts; }
+        let seq = simplex::solve_seq(&supplies, &demands, &cost);
+        let par = simplex::solve_par(&supplies, &demands, &cost);
+        prop_assert_eq!(seq, par);
     }
 
     /// Unbalanced solves move exactly min(ΣP, ΣQ) mass and never exceed the

@@ -12,12 +12,20 @@
 //! [`take_measurements`]) — the hook the repo uses to write bench-history
 //! JSON artifacts.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier: prevents the optimizer from deleting benched work.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// True when the bench binary was invoked with `--test` (as with real
+/// criterion via `cargo bench -- --test`): every routine runs exactly once
+/// as a smoke check and nothing is measured or recorded.
+pub fn is_test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
 }
 
 /// One recorded measurement, exposed via [`take_measurements`].
@@ -95,7 +103,13 @@ pub struct Bencher<'a> {
 
 impl Bencher<'_> {
     /// Times `routine`, printing and recording per-iteration statistics.
+    /// In `--test` mode ([`is_test_mode`]) the routine runs once, unmeasured.
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        if is_test_mode() {
+            black_box(routine());
+            println!("{:<48} (smoke: 1 iteration, --test mode)", self.id);
+            return;
+        }
         // Warmup: run until the warmup budget is spent, counting runs to
         // size each measured sample at roughly sample_budget time.
         let warmup_budget = self.cfg.warmup_time;

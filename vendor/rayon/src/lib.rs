@@ -7,28 +7,51 @@
 //! * [`prelude`] — `par_iter()` on slices/`Vec` and `into_par_iter()` on
 //!   `Range<usize>`, with `map(..).collect()`, `for_each`, and `sum`.
 //!
-//! Scheduling: each parallel call spawns up to [`current_num_threads`]
-//! scoped workers that claim items off a shared atomic counter (dynamic
-//! load balancing — important here because SND work items vary wildly in
-//! cost with `n∆`). Results are written back by item index, so `collect`
-//! preserves input order and is deterministic regardless of interleaving.
+//! Scheduling: parallel calls submit their items to a shared,
+//! lazily-initialized [`WorkerPool`] (like real rayon's global pool).
+//! Workers claim items off a per-call atomic counter (dynamic load
+//! balancing — important here because SND work items vary wildly in cost
+//! with `n∆`), and the submitting thread participates in its own call, so
+//! nested parallelism cannot deadlock: every call makes progress on its own
+//! items even if all pool workers are busy elsewhere. Results are written
+//! back by item index, so `collect` preserves input order and is
+//! deterministic regardless of interleaving.
 //!
-//! Unlike real rayon there is no global pool: workers are plain scoped
-//! threads created per call. The workspace only uses coarse-grained items
-//! (an SSSP run or a transportation solve at minimum), so per-call thread
-//! setup is noise.
+//! The pool replaces the previous per-call scoped threads: fine-grained
+//! callers (the transportation simplex prices *every pivot* through here)
+//! pay one queue push + wakeup per call instead of a thread spawn per
+//! worker per call. Pool size is `current_num_threads() − 1` background
+//! workers (the caller is the final "thread"); set `RAYON_NUM_THREADS` to
+//! override, as with real rayon.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Number of worker threads a parallel call may use.
+/// Number of worker threads a parallel call may use (pool workers plus the
+/// calling thread). Reads `RAYON_NUM_THREADS` once, then falls back to the
+/// machine's available parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// Runs both closures, potentially in parallel, and returns both results.
+///
+/// `join` is used for coarse two-way splits (whole EMD\* terms), where a
+/// scoped thread per call is noise; only indexed fan-out goes through the
+/// pool.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -46,7 +69,201 @@ where
     })
 }
 
-/// Core executor: applies `f` to every index in `0..len` on a dynamic
+/// One submitted parallel call: a lifetime-erased item closure plus the
+/// claim/completion counters workers coordinate through.
+struct Task {
+    /// Next unclaimed item index (claimed by `fetch_add`).
+    next: AtomicUsize,
+    /// Items not yet finished; the submitter blocks until this hits zero.
+    pending: AtomicUsize,
+    len: usize,
+    /// Lifetime-erased pointer to the item closure. Only dereferenced for a
+    /// successfully claimed index, and the submitting caller keeps the
+    /// referent alive until `pending` reaches zero — which cannot happen
+    /// before every claimed item's closure call has returned.
+    func: *const (dyn Fn(usize) + Sync),
+    /// First caught item-panic payload, resumed on the submitting thread so
+    /// assertion messages survive the pool hop (as with real rayon).
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `func` is only dereferenced under the claim/pending protocol
+// documented on the field; all other state is atomics or locks.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    /// Claims and runs items until none remain.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.len {
+                return;
+            }
+            // SAFETY: `i < len` is claimed exactly once; the submitter keeps
+            // the closure alive until `pending` reaches zero, and this
+            // item's decrement below happens only after the call returns.
+            let f = unsafe { &*self.func };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                let mut slot = self.panic_payload.lock().expect("panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *self.done.lock().expect("task done flag poisoned") = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.len
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A persistent pool of worker threads serving indexed parallel calls.
+///
+/// The global instance behind `par_iter` is created on first use and lives
+/// for the process ([`global_pool`]); independent instances can be created
+/// for tests. Submitters always participate in their own call, so a pool is
+/// an accelerator, never a serialization point.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Drop finished tasks, then pick up the oldest live one.
+                while queue.front().is_some_and(|t| t.exhausted()) {
+                    queue.pop_front();
+                }
+                if let Some(t) = queue.front() {
+                    break Arc::clone(t);
+                }
+                queue = shared.available.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        task.work();
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` background threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        for _ in 0..workers.max(1) {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("snd-rayon-worker".into())
+                .spawn(move || worker_loop(s))
+                .expect("failed to spawn rayon pool worker");
+        }
+        WorkerPool { shared }
+    }
+
+    /// Applies `f` to every index in `0..len` across the pool (the calling
+    /// thread included) and returns the results in index order.
+    pub fn run<R, F>(&self, len: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if len == 0 {
+            return Vec::new();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+        let fill = |i: usize| {
+            let r = f(i);
+            *slots[i].lock().expect("result slot poisoned") = Some(r);
+        };
+        let obj: &(dyn Fn(usize) + Sync) = &fill;
+        // SAFETY: erases `obj`'s borrow lifetime. `run_erased` returns only
+        // after every item finished (`pending == 0`) and the task left the
+        // queue, so no dereference outlives `fill` (see `Task::func`).
+        let func: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(obj) };
+        let task = Arc::new(Task {
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(len),
+            len,
+            func,
+            panic_payload: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        self.run_erased(&task);
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker skipped an item")
+            })
+            .collect()
+    }
+
+    fn run_erased(&self, task: &Arc<Task>) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.push_back(Arc::clone(task));
+        }
+        self.shared.available.notify_all();
+        // The caller is a full participant: even with every pool worker busy
+        // (or a pool of zero idle workers during nested calls), the call
+        // completes on this thread alone.
+        task.work();
+        let mut done = task.done.lock().expect("task done flag poisoned");
+        while !*done {
+            done = task.done_cv.wait(done).expect("task done flag poisoned");
+        }
+        drop(done);
+        // A worker usually pops the exhausted task; make sure it is gone
+        // before the item closure's borrow expires.
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        queue.retain(|t| !Arc::ptr_eq(t, task));
+        drop(queue);
+        let payload = task
+            .panic_payload
+            .lock()
+            .expect("panic slot poisoned")
+            .take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.available.notify_all();
+    }
+}
+
+/// The process-wide pool behind `par_iter`/`into_par_iter`.
+fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(current_num_threads().saturating_sub(1).max(1)))
+}
+
+/// Core executor: applies `f` to every index in `0..len` on the shared
 /// worker pool and returns the results in index order.
 fn run_indexed<R, F>(len: usize, f: F) -> Vec<R>
 where
@@ -56,32 +273,10 @@ where
     if len == 0 {
         return Vec::new();
     }
-    let workers = current_num_threads().min(len);
-    if workers <= 1 {
+    if current_num_threads() <= 1 || len == 1 {
         return (0..len).map(f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= len {
-                    break;
-                }
-                let r = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker skipped an item")
-        })
-        .collect()
+    global_pool().run(len, f)
 }
 
 /// Parallel view of a slice (from `par_iter()`).
@@ -232,6 +427,9 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::collections::HashSet;
+    use std::thread::ThreadId;
+    use std::time::Duration;
 
     #[test]
     fn join_returns_both_results() {
@@ -251,7 +449,6 @@ mod tests {
 
     #[test]
     fn for_each_visits_everything() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
         let sum = AtomicUsize::new(0);
         (0..100usize).into_par_iter().for_each(|i| {
             sum.fetch_add(i, Ordering::Relaxed);
@@ -267,15 +464,73 @@ mod tests {
     }
 
     #[test]
+    fn pool_computes_in_index_order() {
+        let pool = WorkerPool::new(3);
+        let out = pool.run(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        // Second call on the same pool (thread reuse, no respawn).
+        let out = pool.run(5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pool_reuses_worker_threads_across_calls() {
+        let pool = WorkerPool::new(3);
+        let caller = std::thread::current().id();
+        let run_ids = |pool: &WorkerPool| -> HashSet<ThreadId> {
+            let ids: Vec<ThreadId> = pool.run(32, |_| {
+                std::thread::sleep(Duration::from_millis(2));
+                std::thread::current().id()
+            });
+            ids.into_iter().filter(|&id| id != caller).collect()
+        };
+        let mut seen = run_ids(&pool);
+        seen.extend(run_ids(&pool));
+        // With per-call thread spawning two calls could use up to 6 distinct
+        // worker ids; a real pool never exceeds its 3 resident workers.
+        assert!(
+            seen.len() <= 3,
+            "expected at most 3 resident workers, saw {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn pool_supports_nested_calls() {
+        let pool = WorkerPool::new(2);
+        // Every outer item submits its own inner call; caller participation
+        // guarantees progress even with all pool workers occupied.
+        let out = pool.run(4, |i| pool.run(8, |j| i * 8 + j).iter().sum::<usize>());
+        let expect: Vec<usize> = (0..4).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn pool_propagates_item_panics() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        let payload = result.expect_err("panic in an item must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom", "original payload must survive the pool hop");
+        // The pool stays usable after a panicked call.
+        assert_eq!(pool.run(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
     fn work_actually_spreads_across_threads() {
         if current_num_threads() < 2 {
             return; // single-core runner: nothing to check
         }
-        use std::collections::HashSet;
-        use std::sync::Mutex;
-        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
         (0..64usize).into_par_iter().for_each(|_| {
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            std::thread::sleep(Duration::from_millis(2));
             ids.lock().unwrap().insert(std::thread::current().id());
         });
         assert!(ids.lock().unwrap().len() > 1, "expected multiple workers");
