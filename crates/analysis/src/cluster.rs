@@ -9,6 +9,16 @@
 use snd_baselines::StateDistance;
 use snd_models::NetworkState;
 
+/// Total order over distances in which NaN — of either sign — sits above
+/// every real value, so a poisoned distance (e.g. from an
+/// unreachable-node geometry) loses every `min` instead of panicking.
+/// (Bare `f64::total_cmp` would order a *negative* NaN below −∞ and let
+/// it win.)
+fn distance_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    let canon = |x: f64| if x.is_nan() { f64::INFINITY } else { x };
+    canon(a).total_cmp(&canon(b))
+}
+
 /// Symmetric pairwise distance matrix over a set of states (row-major,
 /// `states.len()²`). Delegates to the measure's batch path
 /// ([`StateDistance::pairwise`]) — for SND that is the cached, parallel
@@ -33,6 +43,10 @@ pub struct MedoidClustering {
 /// Deterministic: initial medoids are chosen by maximin spreading from the
 /// state with the smallest total distance to all others; swaps proceed
 /// until no single-swap improvement exists (or `max_iters`).
+///
+/// A NaN distance (e.g. from an unreachable-node geometry upstream) never
+/// panics the run — [`distance_cmp`] orders NaN above every real distance,
+/// so it simply loses every `min`.
 pub fn k_medoids(distances: &[Vec<f64>], k: usize, max_iters: usize) -> MedoidClustering {
     let n = distances.len();
     assert!(k >= 1 && k <= n, "need 1 <= k <= n");
@@ -42,7 +56,7 @@ pub fn k_medoids(distances: &[Vec<f64>], k: usize, max_iters: usize) -> MedoidCl
         .min_by(|&a, &b| {
             let sa: f64 = distances[a].iter().sum();
             let sb: f64 = distances[b].iter().sum();
-            sa.partial_cmp(&sb).unwrap()
+            distance_cmp(sa, sb)
         })
         .unwrap_or(0);
     let mut medoids = vec![first];
@@ -56,7 +70,7 @@ pub fn k_medoids(distances: &[Vec<f64>], k: usize, max_iters: usize) -> MedoidCl
                 .iter()
                 .map(|&m| distances[b][m])
                 .fold(f64::INFINITY, f64::min);
-            da.partial_cmp(&db).unwrap()
+            distance_cmp(da, db)
         });
         match next {
             Some(i) => medoids.push(i),
@@ -72,7 +86,7 @@ pub fn k_medoids(distances: &[Vec<f64>], k: usize, max_iters: usize) -> MedoidCl
                 .iter()
                 .enumerate()
                 .map(|(c, &m)| (c, distances[i][m]))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .min_by(|a, b| distance_cmp(a.1, b.1))
                 .expect("k >= 1");
             assignment[i] = best;
             cost += d;
@@ -111,6 +125,8 @@ pub fn k_medoids(distances: &[Vec<f64>], k: usize, max_iters: usize) -> MedoidCl
 }
 
 /// Index of the state in `haystack` closest to `query` (linear scan).
+/// NaN distances order above every real distance ([`distance_cmp`])
+/// instead of panicking.
 pub fn nearest_neighbor<D: StateDistance>(
     dist: &D,
     haystack: &[NetworkState],
@@ -120,11 +136,12 @@ pub fn nearest_neighbor<D: StateDistance>(
         .iter()
         .enumerate()
         .map(|(i, s)| (i, dist.distance(query, s)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .min_by(|a, b| distance_cmp(a.1, b.1))
 }
 
 /// 1-nearest-neighbor classification: returns the label of the closest
-/// labelled exemplar.
+/// labelled exemplar. NaN distances order above every real distance
+/// ([`distance_cmp`]) instead of panicking.
 pub fn classify_1nn<D: StateDistance, L: Clone>(
     dist: &D,
     exemplars: &[(NetworkState, L)],
@@ -133,7 +150,7 @@ pub fn classify_1nn<D: StateDistance, L: Clone>(
     exemplars
         .iter()
         .map(|(s, l)| (dist.distance(query, s), l))
-        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+        .min_by(|a, b| distance_cmp(a.0, b.0))
         .map(|(_, l)| l.clone())
 }
 
@@ -208,6 +225,65 @@ mod tests {
         let (idx, d) = nearest_neighbor(&Hamming, &haystack, &query).unwrap();
         assert_eq!(idx, 0);
         assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn nan_distances_do_not_panic_clustering() {
+        // Regression: a single NaN distance (e.g. from an unreachable-node
+        // geometry) used to panic `partial_cmp(..).unwrap()` inside
+        // k_medoids. It must now be ordered past every real distance —
+        // including the *negative* NaN that 0.0/0.0 produces on x86-64,
+        // which bare `total_cmp` would order below −∞ and let win.
+        for nan in [f64::NAN, f64::NAN.copysign(-1.0)] {
+            let mut m = vec![
+                vec![0.0, 1.0, 9.0, 9.5],
+                vec![1.0, 0.0, 8.0, 9.0],
+                vec![9.0, 8.0, 0.0, 1.5],
+                vec![9.5, 9.0, 1.5, 0.0],
+            ];
+            m[1][3] = nan;
+            m[3][1] = nan;
+            let clustering = k_medoids(&m, 2, 20);
+            assert_eq!(clustering.assignment.len(), 4);
+            // The two tight pairs still separate; the NaN entry never wins
+            // a nearest-medoid comparison.
+            assert_eq!(clustering.assignment[0], clustering.assignment[1]);
+            assert_eq!(clustering.assignment[2], clustering.assignment[3]);
+            assert_ne!(clustering.assignment[0], clustering.assignment[2]);
+        }
+    }
+
+    #[test]
+    fn nan_distances_do_not_panic_nearest_neighbor_or_classification() {
+        /// Returns a negative NaN (as 0.0/0.0 yields on x86-64) against
+        /// one poisoned state, Hamming otherwise.
+        struct PoisonedHamming(NetworkState);
+        impl StateDistance for PoisonedHamming {
+            fn distance(&self, a: &NetworkState, b: &NetworkState) -> f64 {
+                if *a == self.0 || *b == self.0 {
+                    f64::NAN.copysign(-1.0)
+                } else {
+                    Hamming.distance(a, b)
+                }
+            }
+            fn name(&self) -> &'static str {
+                "poisoned-hamming"
+            }
+        }
+        let poisoned = state(&[-1, -1, -1, -1]);
+        let dist = PoisonedHamming(poisoned.clone());
+        let haystack = vec![poisoned.clone(), state(&[1, 1, 0, 0]), state(&[1, 0, 0, 0])];
+        let query = state(&[1, 1, 1, 0]);
+        let (idx, d) = nearest_neighbor(&dist, &haystack, &query).unwrap();
+        assert_eq!(idx, 1, "finite distances beat NaN");
+        assert_eq!(d, 1.0);
+        let exemplars = vec![(poisoned, "poisoned"), (state(&[1, 1, 0, 0]), "clean")];
+        assert_eq!(classify_1nn(&dist, &exemplars, &query), Some("clean"));
+        // All-NaN input still returns rather than panicking.
+        let only_poisoned = vec![dist.0.clone()];
+        let (idx, d) = nearest_neighbor(&dist, &only_poisoned, &query).unwrap();
+        assert_eq!(idx, 0);
+        assert!(d.is_nan());
     }
 
     #[test]

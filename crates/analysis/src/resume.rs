@@ -1,0 +1,129 @@
+//! Checkpoint-backed pairwise/series evaluation.
+//!
+//! The all-pairs and series workloads over large snapshot sets run for
+//! minutes to hours; these entry points route them through the tile-based
+//! shard subsystem (`snd_core::shard`) with a checkpoint file, so an
+//! interrupted run — or a rerun over the same snapshots — resumes from the
+//! completed tiles instead of starting over. The checkpoint is bound to
+//! the snapshot set by fingerprint and results are bit-identical to the
+//! non-checkpointed evaluation.
+
+use std::path::Path;
+
+use snd_core::{DistanceMatrix, ShardError, ShardPlan, SndEngine, TileGrid};
+use snd_models::NetworkState;
+
+/// All-pairs SND matrix with checkpoint/resume: computes (or resumes) the
+/// full tile grid at `tile` states per block, appending each finished tile
+/// to `checkpoint`. Bit-identical to `SndEngine::pairwise_distances`.
+pub fn pairwise_distances_checkpointed(
+    engine: &SndEngine<'_>,
+    states: &[NetworkState],
+    tile: usize,
+    checkpoint: &Path,
+) -> Result<DistanceMatrix, ShardError> {
+    let grid = TileGrid::new(states.len(), tile);
+    let run = engine.pairwise_tiles_checkpointed(states, &ShardPlan::full(grid), checkpoint)?;
+    run.tiles.to_matrix()
+}
+
+/// Adjacent-transition distances `d(G_t, G_{t+1})` with checkpoint/resume:
+/// computes only the tiles covering the superdiagonal, so a series run
+/// prices `O(k·tile)` pairs instead of the full matrix. A later
+/// `pairwise_distances_checkpointed` call over the same checkpoint reuses
+/// these tiles. Bit-identical to `SndEngine::series_distances`.
+pub fn series_distances_checkpointed(
+    engine: &SndEngine<'_>,
+    states: &[NetworkState],
+    tile: usize,
+    checkpoint: &Path,
+) -> Result<Vec<f64>, ShardError> {
+    if states.len() < 2 {
+        return Ok(Vec::new());
+    }
+    let grid = TileGrid::new(states.len(), tile);
+    let run =
+        engine.pairwise_tiles_checkpointed(states, &ShardPlan::superdiagonal(grid), checkpoint)?;
+    Ok((1..states.len())
+        .map(|t| {
+            run.tiles
+                .pair(t - 1, t)
+                .expect("superdiagonal plan covers every transition")
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snd_core::SndConfig;
+    use snd_graph::generators::path_graph;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("snd_resume_{}_{name}", std::process::id()))
+    }
+
+    fn states() -> Vec<NetworkState> {
+        vec![
+            NetworkState::from_values(&[1, 0, 0, 0, 0, -1]),
+            NetworkState::from_values(&[1, 1, 0, 0, -1, -1]),
+            NetworkState::from_values(&[0, 1, 1, -1, -1, 0]),
+            NetworkState::from_values(&[0, 0, 1, 1, -1, 0]),
+            NetworkState::from_values(&[-1, 0, 1, 1, 0, 0]),
+        ]
+    }
+
+    #[test]
+    fn checkpointed_matrix_matches_batch_and_resumes() {
+        let g = path_graph(6);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states();
+        let path = temp_path("pairwise.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let first = pairwise_distances_checkpointed(&engine, &s, 2, &path).unwrap();
+        assert_eq!(first, engine.pairwise_distances(&s));
+        // A rerun over the same checkpoint recomputes nothing and agrees.
+        let second = pairwise_distances_checkpointed(&engine, &s, 2, &path).unwrap();
+        assert_eq!(first, second);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpointed_series_matches_series_and_feeds_pairwise() {
+        let g = path_graph(6);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states();
+        let path = temp_path("series.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let series = series_distances_checkpointed(&engine, &s, 2, &path).unwrap();
+        assert_eq!(series, engine.series_distances(&s));
+        // The full matrix over the same checkpoint reuses the series tiles.
+        let m = pairwise_distances_checkpointed(&engine, &s, 2, &path).unwrap();
+        assert_eq!(m, engine.pairwise_distances(&s));
+        std::fs::remove_file(&path).unwrap();
+
+        assert!(series_distances_checkpointed(&engine, &s[..1], 2, &path)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn checkpoint_refuses_a_different_snapshot_set() {
+        let g = path_graph(6);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states();
+        let path = temp_path("mismatch.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        pairwise_distances_checkpointed(&engine, &s, 2, &path).unwrap();
+        let mut other = s.clone();
+        other[0] = NetworkState::from_values(&[-1, -1, -1, -1, -1, -1]);
+        assert!(matches!(
+            pairwise_distances_checkpointed(&engine, &other, 2, &path),
+            Err(ShardError::Mismatch(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -13,17 +13,24 @@
 //! * `batch_warm` — `pairwise_distances_with` over pre-filled bundles:
 //!   the re-pricing regime (same snapshots, new query) where every row is
 //!   a cache hit and only the transportation solves remain.
+//! * `sharded_2` — the scale-out configuration: the tile grid split
+//!   round-robin across 2 shard plans (`SndEngine::pairwise_tiles`), both
+//!   computed back-to-back on this machine, then merged and validated
+//!   (`TileSet::merge` + `to_matrix`). Against `batch_cold` this prices
+//!   the sharding overhead — per-shard geometry recomputation for states
+//!   both shards touch, plus the merge — that distributing across
+//!   machines pays for.
 //!
 //! After measuring, the bench writes `BENCH_pairwise.json` at the repo
 //! root — the perf-trajectory artifact tracked across PRs.
 //!
 //! Scale knobs (env): `SND_BENCH_NODES` (default 10000),
-//! `SND_BENCH_SNAPSHOTS` (default 32).
+//! `SND_BENCH_SNAPSHOTS` (default 32), `SND_BENCH_SHARDS` (default 2).
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use snd_core::{SndConfig, SndEngine, StateGeometry};
+use snd_core::{ShardPlan, SndConfig, SndEngine, StateGeometry, TileGrid, TileSet, DEFAULT_TILE};
 use snd_data::{generate_series, SyntheticSeriesConfig};
 use snd_models::dynamics::VotingConfig;
 
@@ -81,13 +88,34 @@ fn bench_pairwise_matrix(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("batch_warm", &label), &(), |b, ()| {
         b.iter(|| engine.pairwise_distances_with(states, &warm))
     });
+
+    let shards = env_usize("SND_BENCH_SHARDS", 2).max(2);
+    let grid = TileGrid::new(states.len(), DEFAULT_TILE);
+    group.bench_with_input(
+        BenchmarkId::new(format!("sharded_{shards}"), &label),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let parts: Vec<TileSet> = (0..shards)
+                    .map(|s| {
+                        let plan = ShardPlan::round_robin(grid, s, shards).expect("valid plan");
+                        engine.pairwise_tiles(states, &plan)
+                    })
+                    .collect();
+                TileSet::merge(parts)
+                    .expect("disjoint shards merge")
+                    .to_matrix()
+                    .expect("round-robin plans cover the grid")
+            })
+        },
+    );
     group.finish();
 
-    write_history(nodes, snapshots, series.graph.edge_count());
+    write_history(nodes, snapshots, series.graph.edge_count(), shards);
 }
 
 /// Records the measurements as `BENCH_pairwise.json` at the repo root.
-fn write_history(nodes: usize, snapshots: usize, edges: usize) {
+fn write_history(nodes: usize, snapshots: usize, edges: usize, shards: usize) {
     let measurements = criterion::take_measurements();
     let mean = |needle: &str| {
         measurements
@@ -95,10 +123,11 @@ fn write_history(nodes: usize, snapshots: usize, edges: usize) {
             .find(|m| m.id.contains(needle))
             .map(|m| m.mean_s)
     };
-    let (Some(seq), Some(cold), Some(warm)) = (
+    let (Some(seq), Some(cold), Some(warm), Some(sharded)) = (
         mean("sequential_naive"),
         mean("batch_cold"),
         mean("batch_warm"),
+        mean("sharded_"),
     ) else {
         return;
     };
@@ -111,8 +140,13 @@ fn write_history(nodes: usize, snapshots: usize, edges: usize) {
          \"nodes\": {nodes},\n  \"snapshots\": {snapshots},\n  \"edges\": {edges},\n  \
          \"threads\": {threads},\n  \"sequential_naive_s\": {seq:.4},\n  \
          \"batch_cold_s\": {cold:.4},\n  \"batch_warm_s\": {warm:.4},\n  \
+         \"sharded_shards\": {shards},\n  \"sharded_tile\": {tile},\n  \
+         \"sharded_total_s\": {sharded:.4},\n  \
+         \"sharded_overhead_vs_cold\": {so:.2},\n  \
          \"speedup_cold\": {sc:.2},\n  \"speedup_warm\": {sw:.2}\n}}\n",
         threads = rayon::current_num_threads(),
+        tile = DEFAULT_TILE,
+        so = sharded / cold,
         sc = seq / cold,
         sw = seq / warm,
     );

@@ -1,5 +1,7 @@
 //! CLI subcommand implementations.
 
+use std::path::Path;
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use snd_analysis::series::processed_series;
@@ -8,7 +10,7 @@ use snd_analysis::{
     top_k_anomalies,
 };
 use snd_baselines::{Hamming, QuadForm, StateDistance, WalkDist};
-use snd_core::{OrderedSnd, SndConfig, SndEngine};
+use snd_core::{OrderedSnd, ShardPlan, SndConfig, SndEngine, TileGrid, TileSet, DEFAULT_TILE};
 use snd_data::{generate_series, simulate_twitter, SyntheticSeriesConfig, TwitterSimConfig};
 use snd_models::dynamics::VotingConfig;
 use snd_models::{NetworkState, Opinion};
@@ -131,6 +133,118 @@ pub fn anomaly(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `snd shard`: compute one shard of the all-pairs SND matrix with
+/// checkpoint/resume, or merge shard artifacts into the full matrix.
+///
+/// ```text
+/// snd shard --data FILE --shard I/N --checkpoint FILE [--tile T]
+/// snd shard merge --out FILE PART...
+/// ```
+pub fn shard(args: &[String]) -> Result<(), String> {
+    if args.first().is_some_and(|a| a == "merge") {
+        return shard_merge(&args[1..]);
+    }
+    let path: String = opt(args, "--data").ok_or("missing --data FILE")?;
+    let checkpoint: String = opt(args, "--checkpoint").ok_or("missing --checkpoint FILE")?;
+    let spec: String = opt(args, "--shard").unwrap_or_else(|| "0/1".to_string());
+    let (index, count) = parse_shard_spec(&spec)?;
+    let tile: usize = opt(args, "--tile").unwrap_or(DEFAULT_TILE);
+    if tile == 0 {
+        return Err("--tile must be at least 1".into());
+    }
+
+    let dataset = Dataset::load(&path)?;
+    let graph = dataset.graph();
+    let states = dataset.network_states();
+    let engine = SndEngine::new(&graph, SndConfig::default());
+    let grid = TileGrid::new(states.len(), tile);
+    let plan = ShardPlan::round_robin(grid, index, count).map_err(|e| e.to_string())?;
+
+    let run = engine
+        .pairwise_tiles_checkpointed(&states, &plan, Path::new(&checkpoint))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "shard {index}/{count}: {} tile(s) of {} ({} resumed, {} computed) -> {}",
+        run.tiles.tile_count(),
+        grid.tile_count(),
+        run.resumed,
+        run.computed,
+        checkpoint
+    );
+    Ok(())
+}
+
+/// `snd shard merge`: reassemble shard artifacts, validate overlap/holes,
+/// and write the full matrix as JSON.
+fn shard_merge(args: &[String]) -> Result<(), String> {
+    let out: String = opt(args, "--out").ok_or("missing --out FILE")?;
+    let mut parts: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--out" {
+            i += 2;
+        } else {
+            parts.push(&args[i]);
+            i += 1;
+        }
+    }
+    if parts.is_empty() {
+        return Err("merge needs at least one shard artifact".into());
+    }
+    let sets = parts
+        .iter()
+        .map(|p| TileSet::load(Path::new(p.as_str())).map_err(|e| format!("{p}: {e}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let merged = TileSet::merge(sets).map_err(|e| e.to_string())?;
+    let matrix = merged.to_matrix().map_err(|e| e.to_string())?;
+
+    let k = matrix.size();
+    let mut json = String::with_capacity(k * k * 8 + 32);
+    json.push_str(&format!("{{\"size\":{k},\"rows\":["));
+    for i in 0..k {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push('[');
+        for (j, v) in matrix.row(i).iter().enumerate() {
+            if j > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("{v:?}"));
+        }
+        json.push(']');
+    }
+    json.push_str("]}");
+    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
+
+    let adjacent = matrix.adjacent();
+    let mean = if adjacent.is_empty() {
+        0.0
+    } else {
+        adjacent.iter().sum::<f64>() / adjacent.len() as f64
+    };
+    println!(
+        "merged {} artifact(s): {k} states, {} tile(s), mean adjacent SND {mean:.4} -> {out}",
+        parts.len(),
+        merged.tile_count()
+    );
+    Ok(())
+}
+
+/// Parses `--shard I/N`.
+fn parse_shard_spec(spec: &str) -> Result<(usize, usize), String> {
+    let bad = || format!("bad --shard spec '{spec}' (want I/N, e.g. 0/2)");
+    let (i, n) = spec.split_once('/').ok_or_else(bad)?;
+    let index: usize = i.trim().parse().map_err(|_| bad())?;
+    let count: usize = n.trim().parse().map_err(|_| bad())?;
+    if count == 0 || index >= count {
+        return Err(format!(
+            "shard index {index} out of range for {count} shard(s)"
+        ));
+    }
+    Ok((index, count))
+}
+
 /// `snd predict`: hide random active users in the final state and recover
 /// their opinions with SND.
 pub fn predict(args: &[String]) -> Result<(), String> {
@@ -140,10 +254,11 @@ pub fn predict(args: &[String]) -> Result<(), String> {
     let dataset = Dataset::load(&path)?;
     let graph = dataset.graph();
     let states = dataset.network_states();
-    let t = states.len() - 1;
-    if t < 3 {
+    // Checked before indexing: an empty series must error, not underflow.
+    if states.len() < 4 {
         return Err("need at least 4 states".into());
     }
+    let t = states.len() - 1;
     let truth: &NetworkState = &states[t];
     let mut rng = SmallRng::seed_from_u64(opt(args, "--seed").unwrap_or(5u64));
     let targets = select_targets(truth, n_targets, &mut rng);

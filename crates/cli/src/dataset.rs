@@ -11,6 +11,7 @@ use snd_models::NetworkState;
 
 /// Serialized dataset: a graph, a state series, and optional anomaly
 /// labels.
+#[derive(Debug)]
 pub struct Dataset {
     /// Number of users.
     pub nodes: usize,
@@ -120,7 +121,13 @@ impl Dataset {
                         states = p.array(|p| {
                             p.array(|p| {
                                 let v = p.integer()?;
-                                i8::try_from(v).map_err(|_| format!("bad opinion value {v}"))
+                                // Strict ±1/0 encoding: a stray 2 or -7 is a
+                                // corrupt file, not an opinion (downstream
+                                // decoding by signum would mask it).
+                                match i8::try_from(v) {
+                                    Ok(o @ -1..=1) => Ok(o),
+                                    _ => Err(format!("bad opinion value {v} (want -1, 0, or 1)")),
+                                }
                             })
                         })?;
                     }
@@ -315,6 +322,38 @@ mod tests {
         assert!(Dataset::from_json(r#"{"nodes":2,"edges":[[0,5]]}"#).is_err());
         assert!(Dataset::from_json(r#"{"nodes":2,"states":[[1]]}"#).is_err());
         assert!(Dataset::from_json(r#"{"mystery":1}"#).is_err());
+    }
+
+    #[test]
+    fn malformed_input_surfaces_structured_errors_not_panics() {
+        // Every bad input must come back as Err with a message, never a
+        // panic. Truncations of a valid document exercise every parser
+        // state (mid-key, mid-number, mid-array, mid-literal).
+        let valid = sample().to_json();
+        for cut in 0..valid.len() {
+            let truncated = &valid[..cut];
+            assert!(
+                Dataset::from_json(truncated).is_err(),
+                "truncation at byte {cut} must be rejected: {truncated:?}"
+            );
+        }
+        for (name, text) in [
+            ("trailing garbage", r#"{"nodes":1} tail"#),
+            ("negative node count", r#"{"nodes":-4}"#),
+            (
+                "overflowing node count",
+                r#"{"nodes":99999999999999999999999}"#,
+            ),
+            ("non-integer nodes", r#"{"nodes":"two"}"#),
+            ("opinion out of range", r#"{"nodes":1,"states":[[7]]}"#),
+            ("opinion overflows i8", r#"{"nodes":1,"states":[[400]]}"#),
+            ("bad boolean literal", r#"{"nodes":1,"labels":[maybe]}"#),
+            ("edge missing endpoint", r#"{"nodes":2,"edges":[[0]]}"#),
+            ("negative edge endpoint", r#"{"nodes":2,"edges":[[0,-1]]}"#),
+        ] {
+            let err = Dataset::from_json(text).expect_err(name);
+            assert!(!err.is_empty(), "{name}: error message must not be empty");
+        }
     }
 
     #[test]

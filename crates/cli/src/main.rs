@@ -6,6 +6,9 @@
 //! snd distance --data data.json --t1 0 --t2 1            # all measures
 //! snd anomaly --data data.json                           # score the series
 //! snd predict --data data.json                           # hide & recover opinions
+//! snd shard --data data.json --shard 0/2 \
+//!           --checkpoint part0.snd                       # one resumable shard
+//! snd shard merge --out matrix.json part0.snd part1.snd  # reassemble
 //! ```
 
 use std::process::ExitCode;
@@ -25,6 +28,7 @@ fn main() -> ExitCode {
         "distance" => commands::distance(rest),
         "anomaly" => commands::anomaly(rest),
         "predict" => commands::predict(rest),
+        "shard" => commands::shard(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -49,6 +53,8 @@ fn print_usage() {
          \u{20}  snd generate [--nodes N] [--steps S] [--twitter] [--seed K] --out FILE\n\
          \u{20}  snd distance --data FILE [--t1 I] [--t2 J]\n\
          \u{20}  snd anomaly  --data FILE [--top K]\n\
-         \u{20}  snd predict  --data FILE [--targets K] [--candidates C]\n"
+         \u{20}  snd predict  --data FILE [--targets K] [--candidates C]\n\
+         \u{20}  snd shard    --data FILE --shard I/N --checkpoint FILE [--tile T]\n\
+         \u{20}  snd shard merge --out FILE PART...\n"
     );
 }

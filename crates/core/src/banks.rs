@@ -7,7 +7,15 @@
 //! comparison — so it is computed once per `(state, opinion)` and reused
 //! across comparisons ([`crate::SndEngine::series_distances`],
 //! [`crate::OrderedSnd`]).
+//!
+//! Cluster-bank geometry is embarrassingly parallel across clusters: each
+//! cluster's inter-cluster row and γ need only that cluster's SSSPs.
+//! [`compute_geometry`] fans the per-cluster work out over the rayon pool
+//! (each worker reuses its thread-local SSSP scratch);
+//! [`compute_geometry_seq`] is the kept sequential reference, and the two
+//! are property-tested bit-identical (`tests/shard_matrix.rs`).
 
+use rayon::prelude::*;
 use snd_graph::{
     dial_reverse_scratch, dial_scratch, Clustering, CsrGraph, SsspScratch, UNREACHABLE,
 };
@@ -15,9 +23,10 @@ use snd_models::{edge_costs, NetworkState, Opinion};
 use snd_transport::DenseCost;
 
 use crate::config::{GammaPolicy, SndConfig};
+use crate::sparse::with_sssp_scratch;
 
 /// Opinion-dependent ground geometry for one network state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GroundGeometry {
     /// Quantized edge costs (aligned with forward edge ids).
     pub edge_costs: Vec<u32>,
@@ -51,12 +60,38 @@ impl GroundGeometry {
 
 /// Computes the geometry for `(state, op)`: one multi-source bounded-cost
 /// SSSP per cluster for the inter-cluster matrix, plus the γ policy's runs.
+/// Per-cluster work fans out over the rayon pool; the result is
+/// bit-identical to [`compute_geometry_seq`].
 pub fn compute_geometry(
     g: &CsrGraph,
     clustering: &Clustering,
     state: &NetworkState,
     op: Opinion,
     config: &SndConfig,
+) -> GroundGeometry {
+    build_geometry(g, clustering, state, op, config, true)
+}
+
+/// Fully sequential [`compute_geometry`]: one scratch, one cluster at a
+/// time, no thread fan-out. Kept as the determinism reference and for
+/// single-core baselines.
+pub fn compute_geometry_seq(
+    g: &CsrGraph,
+    clustering: &Clustering,
+    state: &NetworkState,
+    op: Opinion,
+    config: &SndConfig,
+) -> GroundGeometry {
+    build_geometry(g, clustering, state, op, config, false)
+}
+
+fn build_geometry(
+    g: &CsrGraph,
+    clustering: &Clustering,
+    state: &NetworkState,
+    op: Opinion,
+    config: &SndConfig,
+    parallel: bool,
 ) -> GroundGeometry {
     let costs = edge_costs(g, state, op, &config.ground);
     let max_edge_cost = config.ground.max_edge_cost();
@@ -81,44 +116,62 @@ pub fn compute_geometry(
         };
     }
 
-    // One scratch serves every SSSP this geometry needs (inter-cluster
-    // rows plus the γ policy's runs) — no per-run `dist` allocation.
-    let mut scratch = SsspScratch::new();
     let nc = clustering.cluster_count();
+    // One inter-cluster row plus one base γ per cluster, each needing only
+    // that cluster's SSSPs — independent work items, identical outputs in
+    // either evaluation order.
+    let per_cluster: Vec<(Vec<u32>, u32)> = if parallel {
+        (0..nc)
+            .into_par_iter()
+            .map(|c| {
+                with_sssp_scratch(|scratch| {
+                    cluster_geometry(
+                        g,
+                        clustering,
+                        &costs,
+                        max_edge_cost,
+                        unreachable,
+                        config,
+                        c,
+                        scratch,
+                    )
+                })
+            })
+            .collect()
+    } else {
+        // One scratch serves every SSSP this geometry needs — no per-run
+        // `dist` allocation.
+        let mut scratch = SsspScratch::new();
+        (0..nc)
+            .map(|c| {
+                cluster_geometry(
+                    g,
+                    clustering,
+                    &costs,
+                    max_edge_cost,
+                    unreachable,
+                    config,
+                    c,
+                    &mut scratch,
+                )
+            })
+            .collect()
+    };
+
     let mut inter = DenseCost::filled(nc, nc, unreachable);
-    for c in 0..nc {
-        dial_scratch(
-            g,
-            &costs,
-            clustering.members(c as u32),
-            max_edge_cost,
-            &mut scratch,
-        );
-        let row_min = per_cluster_min(&scratch, g.node_count(), clustering, unreachable);
-        for (c2, &d) in row_min.iter().enumerate() {
+    let nb = config.banks_per_cluster.max(1);
+    let mut gammas = Vec::with_capacity(nc);
+    for (c, (row, base)) in per_cluster.into_iter().enumerate() {
+        for (c2, &d) in row.iter().enumerate() {
             *inter.at_mut(c, c2) = d;
         }
         *inter.at_mut(c, c) = 0;
-    }
-
-    let base_gammas = compute_base_gammas(
-        g,
-        clustering,
-        &costs,
-        max_edge_cost,
-        unreachable,
-        config,
-        &mut scratch,
-    );
-    let nb = config.banks_per_cluster.max(1);
-    let gammas = base_gammas
-        .into_iter()
-        .map(|base| {
+        gammas.push(
             (0..nb)
                 .map(|b| base.saturating_mul(b as u32 + 1).min(unreachable))
-                .collect()
-        })
-        .collect();
+                .collect(),
+        );
+    }
 
     GroundGeometry {
         edge_costs: costs,
@@ -128,6 +181,40 @@ pub fn compute_geometry(
         gammas,
         inter_cluster: inter,
     }
+}
+
+/// Cluster `c`'s inter-cluster distance row plus its base γ — the unit of
+/// per-cluster fan-out.
+#[allow(clippy::too_many_arguments)] // internal helper mirroring the geometry inputs
+fn cluster_geometry(
+    g: &CsrGraph,
+    clustering: &Clustering,
+    costs: &[u32],
+    max_edge_cost: u32,
+    unreachable: u32,
+    config: &SndConfig,
+    c: usize,
+    scratch: &mut SsspScratch,
+) -> (Vec<u32>, u32) {
+    dial_scratch(
+        g,
+        costs,
+        clustering.members(c as u32),
+        max_edge_cost,
+        scratch,
+    );
+    let row = per_cluster_min(scratch, g.node_count(), clustering, unreachable);
+    let base = base_gamma(
+        g,
+        clustering,
+        costs,
+        max_edge_cost,
+        unreachable,
+        config,
+        c,
+        scratch,
+    );
+    (row, base)
 }
 
 /// Reduces the scratch's last run to the minimum distance per cluster.
@@ -150,15 +237,18 @@ fn per_cluster_min(
     mins
 }
 
-fn compute_base_gammas(
+/// The γ policy's base value for one cluster.
+#[allow(clippy::too_many_arguments)] // internal helper mirroring the geometry inputs
+fn base_gamma(
     g: &CsrGraph,
     clustering: &Clustering,
     costs: &[u32],
     max_edge_cost: u32,
     unreachable: u32,
     config: &SndConfig,
+    c: usize,
     scratch: &mut SsspScratch,
-) -> Vec<u32> {
+) -> u32 {
     // Eccentricity of the scratch's last run over a cluster's members.
     let member_ecc = |scratch: &SsspScratch, members: &[snd_graph::NodeId]| {
         members
@@ -175,37 +265,33 @@ fn compute_base_gammas(
             .unwrap_or(0) as u32
     };
     match config.gamma {
-        GammaPolicy::Constant(v) => vec![v; clustering.cluster_count()],
-        GammaPolicy::Eccentricity => (0..clustering.cluster_count())
-            .map(|c| {
-                let members = clustering.members(c as u32);
-                let rep = members[0];
-                dial_scratch(g, costs, &[rep], max_edge_cost, scratch);
-                let fwd = member_ecc(scratch, members);
-                dial_reverse_scratch(g, costs, &[rep], max_edge_cost, scratch);
-                let bwd = member_ecc(scratch, members);
-                fwd.max(bwd)
-            })
-            .collect(),
-        GammaPolicy::HalfExactDiameter => (0..clustering.cluster_count())
-            .map(|c| {
-                let members = clustering.members(c as u32);
-                let mut diam = 0u64;
-                for &p in members {
-                    dial_scratch(g, costs, &[p], max_edge_cost, scratch);
-                    for &q in members {
-                        let d = scratch.dist(q);
-                        let d = if d == UNREACHABLE {
-                            unreachable as u64
-                        } else {
-                            d.min(unreachable as u64)
-                        };
-                        diam = diam.max(d);
-                    }
+        GammaPolicy::Constant(v) => v,
+        GammaPolicy::Eccentricity => {
+            let members = clustering.members(c as u32);
+            let rep = members[0];
+            dial_scratch(g, costs, &[rep], max_edge_cost, scratch);
+            let fwd = member_ecc(scratch, members);
+            dial_reverse_scratch(g, costs, &[rep], max_edge_cost, scratch);
+            let bwd = member_ecc(scratch, members);
+            fwd.max(bwd)
+        }
+        GammaPolicy::HalfExactDiameter => {
+            let members = clustering.members(c as u32);
+            let mut diam = 0u64;
+            for &p in members {
+                dial_scratch(g, costs, &[p], max_edge_cost, scratch);
+                for &q in members {
+                    let d = scratch.dist(q);
+                    let d = if d == UNREACHABLE {
+                        unreachable as u64
+                    } else {
+                        d.min(unreachable as u64)
+                    };
+                    diam = diam.max(d);
                 }
-                (diam.div_ceil(2)).min(unreachable as u64) as u32
-            })
-            .collect(),
+            }
+            (diam.div_ceil(2)).min(unreachable as u64) as u32
+        }
     }
 }
 
@@ -292,5 +378,23 @@ mod tests {
         let geom = compute_geometry(&g, &clustering, &state, Opinion::Positive, &config);
         assert_eq!(geom.inter_cluster.at(0, 1), geom.unreachable);
         assert_eq!(geom.inter_cluster.at(1, 0), geom.unreachable);
+    }
+
+    #[test]
+    fn parallel_geometry_matches_sequential_under_every_gamma_policy() {
+        let (g, clustering, mut config) = setup();
+        let state = NetworkState::from_values(&[1, -1, 0, 1, 0, 0, -1, 1]);
+        for gamma in [
+            GammaPolicy::Constant(3),
+            GammaPolicy::Eccentricity,
+            GammaPolicy::HalfExactDiameter,
+        ] {
+            config.gamma = gamma;
+            for op in [Opinion::Positive, Opinion::Negative] {
+                let par = compute_geometry(&g, &clustering, &state, op, &config);
+                let seq = compute_geometry_seq(&g, &clustering, &state, op, &config);
+                assert_eq!(par, seq, "policy {gamma:?}, opinion {op:?}");
+            }
+        }
     }
 }

@@ -72,7 +72,7 @@ impl DistanceMatrix {
     }
 
     /// Builds a matrix from the strict upper triangle, mirroring it.
-    fn from_upper(k: usize, upper: &[f64]) -> Self {
+    pub(crate) fn from_upper(k: usize, upper: &[f64]) -> Self {
         debug_assert_eq!(upper.len(), k * k.saturating_sub(1) / 2);
         let mut data = vec![0.0; k * k];
         let mut idx = 0;
@@ -117,7 +117,7 @@ impl<'g> SndEngine<'g> {
             .into_par_iter()
             .map(|t| {
                 let (i, j) = pairs[t / 4];
-                self.pair_term(states, geoms, i, j, t % 4)
+                self.pair_term(&states[i], &states[j], &geoms[i], &geoms[j], t % 4)
             })
             .collect();
         let upper: Vec<f64> = terms
@@ -150,33 +150,35 @@ impl<'g> SndEngine<'g> {
         DistanceMatrix::from_upper(k, &upper)
     }
 
-    /// One of the four Eq. 3 terms of pair `(i, j)`, drawing rows from the
-    /// ground state's shared cache. Term order matches [`SndBreakdown`]:
-    /// forward +, forward −, backward +, backward −.
-    fn pair_term(
+    /// One of the four Eq. 3 terms of pair `(a, b)` given the two states'
+    /// bundles, drawing rows from the ground state's shared cache. Term
+    /// order matches [`SndBreakdown`]: forward +, forward −, backward +,
+    /// backward −. Shared with the tile-based shard path
+    /// ([`crate::shard`]).
+    pub(crate) fn pair_term(
         &self,
-        states: &[NetworkState],
-        geoms: &[StateGeometry],
-        i: usize,
-        j: usize,
+        a: &NetworkState,
+        b: &NetworkState,
+        ga: &StateGeometry,
+        gb: &StateGeometry,
         which: usize,
     ) -> f64 {
         use snd_models::Opinion;
         let (ground, p, q, geom, op) = match which {
-            0 => (i, i, j, &geoms[i].pos, Opinion::Positive),
-            1 => (i, i, j, &geoms[i].neg, Opinion::Negative),
-            2 => (j, j, i, &geoms[j].pos, Opinion::Positive),
-            _ => (j, j, i, &geoms[j].neg, Opinion::Negative),
+            0 => (ga, a, b, &ga.pos, Opinion::Positive),
+            1 => (ga, a, b, &ga.neg, Opinion::Negative),
+            2 => (gb, b, a, &gb.pos, Opinion::Positive),
+            _ => (gb, b, a, &gb.neg, Opinion::Negative),
         };
         sparse::emd_star_term(
             self.graph(),
             self.clustering(),
             geom,
-            &states[p],
-            &states[q],
+            p,
+            q,
             op,
             self.config(),
-            Some(&geoms[ground].cache),
+            Some(&ground.cache),
         )
     }
 }

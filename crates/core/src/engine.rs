@@ -117,9 +117,18 @@ impl<'g> SndEngine<'g> {
     }
 
     /// Computes the ground geometry for `(state, op)` — reusable across
-    /// comparisons whose ground state is `state`.
+    /// comparisons whose ground state is `state`. Per-cluster SSSPs fan out
+    /// over the rayon pool; bit-identical to
+    /// [`geometry_seq`](Self::geometry_seq).
     pub fn geometry(&self, state: &NetworkState, op: Opinion) -> GroundGeometry {
         compute_geometry(self.graph, &self.clustering, state, op, &self.config)
+    }
+
+    /// Fully sequential [`geometry`](Self::geometry): no thread fan-out.
+    /// The `*_seq` reference paths use this so they stay single-threaded
+    /// end to end.
+    pub fn geometry_seq(&self, state: &NetworkState, op: Opinion) -> GroundGeometry {
+        crate::banks::compute_geometry_seq(self.graph, &self.clustering, state, op, &self.config)
     }
 
     /// Computes the full per-state bundle — both opinion geometries (in
@@ -154,10 +163,10 @@ impl<'g> SndEngine<'g> {
 
     /// Fully sequential [`breakdown`](Self::breakdown).
     pub fn breakdown_seq(&self, a: &NetworkState, b: &NetworkState) -> SndBreakdown {
-        let ga_pos = self.geometry(a, Opinion::Positive);
-        let ga_neg = self.geometry(a, Opinion::Negative);
-        let gb_pos = self.geometry(b, Opinion::Positive);
-        let gb_neg = self.geometry(b, Opinion::Negative);
+        let ga_pos = self.geometry_seq(a, Opinion::Positive);
+        let ga_neg = self.geometry_seq(a, Opinion::Negative);
+        let gb_pos = self.geometry_seq(b, Opinion::Positive);
+        let gb_neg = self.geometry_seq(b, Opinion::Negative);
         self.breakdown_with_geometry_seq(a, b, [&ga_pos, &ga_neg, &gb_pos, &gb_neg])
     }
 
@@ -362,13 +371,13 @@ impl<'g> SndEngine<'g> {
         }
         let mut out = Vec::with_capacity(states.len() - 1);
         let mut prev = (
-            self.geometry(&states[0], Opinion::Positive),
-            self.geometry(&states[0], Opinion::Negative),
+            self.geometry_seq(&states[0], Opinion::Positive),
+            self.geometry_seq(&states[0], Opinion::Negative),
         );
         for t in 1..states.len() {
             let cur = (
-                self.geometry(&states[t], Opinion::Positive),
-                self.geometry(&states[t], Opinion::Negative),
+                self.geometry_seq(&states[t], Opinion::Positive),
+                self.geometry_seq(&states[t], Opinion::Negative),
             );
             let breakdown = self.breakdown_with_geometry_seq(
                 &states[t - 1],

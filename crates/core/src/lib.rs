@@ -35,6 +35,7 @@ pub mod config;
 pub mod dense;
 pub mod engine;
 pub mod ordered;
+pub mod shard;
 pub mod sparse;
 
 pub use banks::GroundGeometry;
@@ -42,4 +43,5 @@ pub use batch::DistanceMatrix;
 pub use config::{ClusterSpec, GammaPolicy, SndConfig};
 pub use engine::{SndBreakdown, SndEngine, StateGeometry};
 pub use ordered::OrderedSnd;
+pub use shard::{states_fingerprint, ShardError, ShardPlan, TileGrid, TileSet, DEFAULT_TILE};
 pub use sparse::RowCache;

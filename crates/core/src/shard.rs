@@ -1,0 +1,1055 @@
+//! Tile-based sharding of the all-pairs SND matrix, with
+//! checkpoint/resume and shard merging.
+//!
+//! The all-pairs matrix is embarrassingly block-parallel: the strict upper
+//! triangle of a `k × k` [`DistanceMatrix`] is decomposed by a [`TileGrid`]
+//! into fixed-size tiles over a block grid (block `b` covers state indices
+//! `[b·tile, min((b+1)·tile, k))`; tile `(bi, bj)` with `bi ≤ bj` holds
+//! every pair `(i, j)` with `i < j`, `i ∈ block bi`, `j ∈ block bj`).
+//! Tiles get deterministic IDs — row-major over the upper-triangular block
+//! grid including the diagonal — so any two machines agree on what tile 17
+//! means for a given `(k, tile)`.
+//!
+//! [`SndEngine::pairwise_tiles`] computes any subset of tiles selected by
+//! a [`ShardPlan`]: EMD\* terms fan out over the rayon pool *inside* each
+//! tile, per-state geometry bundles (and their SSSP row caches) are shared
+//! across every tile of the run and dropped as soon as no remaining tile
+//! needs them, and each finished tile can be appended to a checkpoint file
+//! so an interrupted run resumes without recomputation
+//! ([`SndEngine::pairwise_tiles_checkpointed`]).
+//!
+//! # Shard plans
+//!
+//! A [`ShardPlan`] names the tiles one worker computes:
+//!
+//! * [`ShardPlan::full`] — every tile (single-machine, resumable);
+//! * [`ShardPlan::round_robin`] — tile IDs with `id % shard_count ==
+//!   shard_index`: `shard_count` independent machines each produce a
+//!   partial artifact covering a disjoint tile set whose union is the full
+//!   matrix;
+//! * [`ShardPlan::superdiagonal`] — only the tiles containing adjacent
+//!   transitions `(t−1, t)`, the series workload;
+//! * [`ShardPlan::explicit`] — any caller-chosen tile subset.
+//!
+//! [`TileSet::merge`] reassembles partial artifacts, rejecting
+//! conflicting overlaps (the same tile with different bits) and
+//! mismatched grids/datasets; [`TileSet::to_matrix`] validates that no
+//! tile is missing (holes) before producing the full [`DistanceMatrix`].
+//! Merging the tiles of any plan partition is bit-identical to
+//! [`SndEngine::pairwise_distances_seq`] — property-tested in
+//! `tests/shard_matrix.rs`.
+//!
+//! # Checkpoint / artifact format
+//!
+//! Checkpoints and shard artifacts are the same line-oriented text format:
+//!
+//! ```text
+//! SNDSHARD v1
+//! k <states> tile <tile_size> fingerprint <hex64>
+//! T <tile_id> <pair_count> <f64-bits-hex> <f64-bits-hex> ...
+//! T ...
+//! ```
+//!
+//! The fingerprint is a 64-bit FNV-1a hash over everything the distances
+//! depend on — graph topology, engine configuration, and the snapshot set
+//! ([`SndEngine::shard_fingerprint`]) — so a checkpoint is never resumed
+//! against a different dataset, graph, or configuration. Distances are
+//! serialized as the hex of their IEEE-754 bits — round-trips are exact,
+//! which is what makes resume bit-identical.
+//! Tile lines are appended (and flushed) one at a time as tiles finish; on
+//! load, a truncated or corrupt trailing line (the half-written remnant of
+//! an interrupted run) is discarded and its tile recomputed.
+//!
+//! # CLI workflow
+//!
+//! ```text
+//! # each machine computes one shard of the 2-way split, resumably:
+//! snd shard --data snaps.json --shard 0/2 --checkpoint part0.snd
+//! snd shard --data snaps.json --shard 1/2 --checkpoint part1.snd
+//! # kill/restart either command: completed tiles are not recomputed.
+//!
+//! # reassemble the full matrix (validates overlap/holes/fingerprints):
+//! snd shard merge --out matrix.json part0.snd part1.snd
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::ops::Range;
+use std::path::Path;
+
+use rayon::prelude::*;
+use snd_models::NetworkState;
+
+use crate::batch::DistanceMatrix;
+use crate::engine::{SndBreakdown, SndEngine, StateGeometry};
+
+/// Default tile edge (states per block): `8 × 8` tiles hold up to 64
+/// pairs — coarse enough that checkpoint appends are rare, fine enough
+/// that a killed run loses little work.
+pub const DEFAULT_TILE: usize = 8;
+
+const MAGIC: &str = "SNDSHARD v1";
+
+/// Hook invoked with each finished tile before it is recorded — the
+/// checkpoint append point.
+type OnTile<'a> = dyn FnMut(usize, &[f64]) -> Result<(), ShardError> + 'a;
+
+/// Errors from shard planning, checkpoint IO, and merging.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Invalid shard arithmetic (e.g. `shard_index ≥ shard_count`).
+    InvalidPlan(String),
+    /// Underlying file IO failed.
+    Io(std::io::Error),
+    /// A checkpoint/artifact file is not in the expected format.
+    Format(String),
+    /// A checkpoint/artifact belongs to a different grid or dataset.
+    Mismatch(String),
+    /// Two artifacts disagree on the same tile's values.
+    Overlap {
+        /// The conflicting tile.
+        tile: usize,
+    },
+    /// Tiles missing from a merge that must cover the full matrix.
+    Holes {
+        /// Missing tile IDs (truncated to the first few for display).
+        missing: Vec<usize>,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::InvalidPlan(m) => write!(f, "invalid shard plan: {m}"),
+            ShardError::Io(e) => write!(f, "shard checkpoint IO: {e}"),
+            ShardError::Format(m) => write!(f, "bad shard file: {m}"),
+            ShardError::Mismatch(m) => write!(f, "shard file mismatch: {m}"),
+            ShardError::Overlap { tile } => {
+                write!(f, "conflicting values for tile {tile} across artifacts")
+            }
+            ShardError::Holes { missing } => write!(
+                f,
+                "matrix has {} missing tile(s), first: {:?}",
+                missing.len(),
+                &missing[..missing.len().min(8)]
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// Decomposition of the strict upper triangle of a `k × k` matrix into
+/// fixed-size tiles with deterministic IDs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileGrid {
+    k: usize,
+    tile: usize,
+}
+
+impl TileGrid {
+    /// Grid over `k` states with `tile × tile` blocks (`tile ≥ 1`).
+    pub fn new(k: usize, tile: usize) -> Self {
+        assert!(tile >= 1, "tile size must be at least 1");
+        TileGrid { k, tile }
+    }
+
+    /// Number of states (`k`).
+    pub fn states(&self) -> usize {
+        self.k
+    }
+
+    /// Tile edge length.
+    pub fn tile_size(&self) -> usize {
+        self.tile
+    }
+
+    /// Number of blocks per axis (`⌈k / tile⌉`).
+    pub fn blocks(&self) -> usize {
+        self.k.div_ceil(self.tile)
+    }
+
+    /// Number of tiles: the upper-triangular block grid including the
+    /// diagonal.
+    pub fn tile_count(&self) -> usize {
+        let nb = self.blocks();
+        nb * (nb + 1) / 2
+    }
+
+    /// State-index range of block `b`.
+    fn range(&self, b: usize) -> Range<usize> {
+        (b * self.tile)..((b + 1) * self.tile).min(self.k)
+    }
+
+    /// Tile ID of block coordinates `(bi, bj)` with `bi ≤ bj`: row-major
+    /// over the upper-triangular block grid.
+    pub fn id(&self, bi: usize, bj: usize) -> usize {
+        let nb = self.blocks();
+        assert!(bi <= bj && bj < nb, "block coords out of range");
+        bi * nb - bi * (bi.saturating_sub(1)) / 2 - bi + bj
+    }
+
+    /// Block coordinates `(bi, bj)` of a tile ID.
+    pub fn coords(&self, id: usize) -> (usize, usize) {
+        assert!(id < self.tile_count(), "tile id out of range");
+        let nb = self.blocks();
+        let mut bi = 0;
+        let mut start = 0;
+        while start + (nb - bi) <= id {
+            start += nb - bi;
+            bi += 1;
+        }
+        (bi, bi + (id - start))
+    }
+
+    /// The `(i, j)` pairs (`i < j`) of one tile, in the fixed row-major
+    /// order tile values are serialized in.
+    pub fn pairs(&self, id: usize) -> Vec<(usize, usize)> {
+        let (bi, bj) = self.coords(id);
+        let ri = self.range(bi);
+        let rj = self.range(bj);
+        let mut out = Vec::with_capacity(self.pair_count(id));
+        for i in ri {
+            for j in rj.clone() {
+                if i < j {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of pairs in a tile (without materializing them).
+    pub fn pair_count(&self, id: usize) -> usize {
+        let (bi, bj) = self.coords(id);
+        let wi = self.range(bi).len();
+        let wj = self.range(bj).len();
+        if bi == bj {
+            wi * wi.saturating_sub(1) / 2
+        } else {
+            wi * wj
+        }
+    }
+
+    /// IDs of the tiles containing the superdiagonal pairs `(t−1, t)` —
+    /// the tiles a series workload needs.
+    pub fn superdiagonal_tiles(&self) -> Vec<usize> {
+        let nb = self.blocks();
+        let mut ids = Vec::new();
+        for b in 0..nb {
+            ids.push(self.id(b, b));
+            if b + 1 < nb {
+                ids.push(self.id(b, b + 1));
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// The tile subset one worker computes.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    grid: TileGrid,
+    tiles: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Every tile of the grid (single-machine, resumable, full matrix).
+    pub fn full(grid: TileGrid) -> Self {
+        ShardPlan {
+            grid,
+            tiles: (0..grid.tile_count()).collect(),
+        }
+    }
+
+    /// Round-robin split: tile IDs with `id % shard_count == shard_index`.
+    /// The `shard_count` plans partition the grid exactly.
+    pub fn round_robin(
+        grid: TileGrid,
+        shard_index: usize,
+        shard_count: usize,
+    ) -> Result<Self, ShardError> {
+        if shard_count == 0 {
+            return Err(ShardError::InvalidPlan("shard count must be ≥ 1".into()));
+        }
+        if shard_index >= shard_count {
+            return Err(ShardError::InvalidPlan(format!(
+                "shard index {shard_index} out of range for {shard_count} shard(s)"
+            )));
+        }
+        Ok(ShardPlan {
+            grid,
+            tiles: (0..grid.tile_count())
+                .filter(|id| id % shard_count == shard_index)
+                .collect(),
+        })
+    }
+
+    /// Only the tiles covering adjacent transitions `(t−1, t)`.
+    pub fn superdiagonal(grid: TileGrid) -> Self {
+        ShardPlan {
+            grid,
+            tiles: grid.superdiagonal_tiles(),
+        }
+    }
+
+    /// An arbitrary tile subset (deduplicated, ascending order).
+    pub fn explicit(grid: TileGrid, mut tiles: Vec<usize>) -> Result<Self, ShardError> {
+        tiles.sort_unstable();
+        tiles.dedup();
+        if let Some(&bad) = tiles.iter().find(|&&id| id >= grid.tile_count()) {
+            return Err(ShardError::InvalidPlan(format!(
+                "tile {bad} out of range for {} tile(s)",
+                grid.tile_count()
+            )));
+        }
+        Ok(ShardPlan { grid, tiles })
+    }
+
+    /// The grid this plan tiles.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// The plan's tile IDs, ascending.
+    pub fn tile_ids(&self) -> &[usize] {
+        &self.tiles
+    }
+}
+
+/// Incremental 64-bit FNV-1a.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+}
+
+/// 64-bit FNV-1a fingerprint of a snapshot set: state count, per-state
+/// length, and every opinion value. The engine entry points extend this
+/// with the graph and configuration
+/// ([`SndEngine::shard_fingerprint`]) — distances depend on all three.
+pub fn states_fingerprint(states: &[NetworkState]) -> u64 {
+    let mut h = Fnv::new();
+    eat_states(&mut h, states);
+    h.0
+}
+
+fn eat_states(h: &mut Fnv, states: &[NetworkState]) {
+    h.eat(&(states.len() as u64).to_le_bytes());
+    for s in states {
+        h.eat(&(s.len() as u64).to_le_bytes());
+        for op in s.opinions() {
+            h.eat(&[op.value() as u8]);
+        }
+    }
+}
+
+/// A set of computed tiles over one grid and dataset: a partial (or full)
+/// all-pairs artifact. Produced by the engine's tile entry points and by
+/// [`TileSet::load`]; reassembled by [`TileSet::merge`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TileSet {
+    grid: TileGrid,
+    fingerprint: u64,
+    tiles: BTreeMap<usize, Vec<f64>>,
+}
+
+impl TileSet {
+    /// An empty artifact for `grid` over the dataset with `fingerprint`.
+    pub fn empty(grid: TileGrid, fingerprint: u64) -> Self {
+        TileSet {
+            grid,
+            fingerprint,
+            tiles: BTreeMap::new(),
+        }
+    }
+
+    /// The tile grid.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// The dataset fingerprint the tiles were computed from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of tiles present.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether a tile is present.
+    pub fn contains(&self, id: usize) -> bool {
+        self.tiles.contains_key(&id)
+    }
+
+    /// IDs of grid tiles not present — the holes a full matrix still
+    /// needs.
+    pub fn missing_tiles(&self) -> Vec<usize> {
+        (0..self.grid.tile_count())
+            .filter(|id| !self.tiles.contains_key(id))
+            .collect()
+    }
+
+    /// Distance of pair `(i, j)` if its tile is present (`Some(0.0)` on
+    /// the diagonal).
+    pub fn pair(&self, i: usize, j: usize) -> Option<f64> {
+        if i >= self.grid.k || j >= self.grid.k {
+            return None;
+        }
+        if i == j {
+            return Some(0.0);
+        }
+        let (i, j) = (i.min(j), i.max(j));
+        let (bi, bj) = (i / self.grid.tile, j / self.grid.tile);
+        let values = self.tiles.get(&self.grid.id(bi, bj))?;
+        let (r, c) = (i - bi * self.grid.tile, j - bj * self.grid.tile);
+        let idx = if bi == bj {
+            let w = self.grid.range(bi).len();
+            r * (2 * w - r - 1) / 2 + (c - r - 1)
+        } else {
+            r * self.grid.range(bj).len() + c
+        };
+        Some(values[idx])
+    }
+
+    /// Inserts a completed tile (values in the grid's pair order).
+    pub fn insert(&mut self, id: usize, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.grid.pair_count(id),
+            "tile value count must match the grid"
+        );
+        self.tiles.insert(id, values);
+    }
+
+    /// Keeps only the listed tiles.
+    pub(crate) fn restrict(mut self, ids: &[usize]) -> Self {
+        let keep: std::collections::BTreeSet<usize> = ids.iter().copied().collect();
+        self.tiles.retain(|id, _| keep.contains(id));
+        self
+    }
+
+    /// Reassembles partial artifacts into one set. All parts must share
+    /// the grid and fingerprint; a tile present in several parts must
+    /// carry identical bits ([`ShardError::Overlap`] otherwise).
+    pub fn merge(parts: impl IntoIterator<Item = TileSet>) -> Result<TileSet, ShardError> {
+        let mut parts = parts.into_iter();
+        let mut merged = parts
+            .next()
+            .ok_or_else(|| ShardError::InvalidPlan("merge needs at least one artifact".into()))?;
+        for part in parts {
+            if part.grid != merged.grid {
+                return Err(ShardError::Mismatch(format!(
+                    "grid {:?} vs {:?}",
+                    part.grid, merged.grid
+                )));
+            }
+            if part.fingerprint != merged.fingerprint {
+                return Err(ShardError::Mismatch(format!(
+                    "dataset fingerprint {:016x} vs {:016x}",
+                    part.fingerprint, merged.fingerprint
+                )));
+            }
+            for (id, values) in part.tiles {
+                match merged.tiles.get(&id) {
+                    Some(existing) => {
+                        let same = existing.len() == values.len()
+                            && existing
+                                .iter()
+                                .zip(&values)
+                                .all(|(a, b)| a.to_bits() == b.to_bits());
+                        if !same {
+                            return Err(ShardError::Overlap { tile: id });
+                        }
+                    }
+                    None => {
+                        merged.tiles.insert(id, values);
+                    }
+                }
+            }
+        }
+        Ok(merged)
+    }
+
+    /// The full [`DistanceMatrix`], validating that every tile is present.
+    pub fn to_matrix(&self) -> Result<DistanceMatrix, ShardError> {
+        let missing = self.missing_tiles();
+        if !missing.is_empty() {
+            return Err(ShardError::Holes { missing });
+        }
+        let k = self.grid.k;
+        let mut upper = vec![0.0; k * k.saturating_sub(1) / 2];
+        for (&id, values) in &self.tiles {
+            for ((i, j), &v) in self.grid.pairs(id).iter().zip(values) {
+                upper[i * k - i * (i + 1) / 2 + (j - i - 1)] = v;
+            }
+        }
+        Ok(DistanceMatrix::from_upper(k, &upper))
+    }
+
+    /// Writes the artifact (header + every tile) to `path`, replacing any
+    /// existing file.
+    pub fn save(&self, path: &Path) -> Result<(), ShardError> {
+        let mut out = String::new();
+        header_lines(&mut out, &self.grid, self.fingerprint);
+        for (&id, values) in &self.tiles {
+            tile_line(&mut out, id, values);
+        }
+        std::fs::write(path, out)?;
+        Ok(())
+    }
+
+    /// Reads an artifact/checkpoint. A truncated or corrupt trailing tile
+    /// line — the remnant of an interrupted run — is discarded (that tile
+    /// is simply recomputed on resume); header corruption is an error.
+    pub fn load(path: &Path) -> Result<TileSet, ShardError> {
+        let mut text = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut text)?;
+        Ok(Self::parse_artifact(&text, path)?.0)
+    }
+
+    /// Parses an artifact's text, returning the set plus the byte length
+    /// of the valid prefix — resume truncates the file there before
+    /// appending. Both header lines must be complete
+    /// (newline-terminated): appending tiles after a half-written header
+    /// would corrupt the file irrecoverably.
+    fn parse_artifact(text: &str, path: &Path) -> Result<(TileSet, u64), ShardError> {
+        let mut offset = 0u64;
+        let mut lines = text.split_inclusive('\n');
+
+        let magic = lines.next().unwrap_or("");
+        if magic != format!("{MAGIC}\n") {
+            return Err(ShardError::Format(format!(
+                "{}: missing '{MAGIC}' header",
+                path.display()
+            )));
+        }
+        offset += magic.len() as u64;
+        let header = lines.next().unwrap_or("");
+        let (grid, fingerprint) = header
+            .strip_suffix('\n')
+            .and_then(parse_header)
+            .ok_or_else(|| ShardError::Format(format!("{}: bad header line", path.display())))?;
+        offset += header.len() as u64;
+
+        let mut set = TileSet::empty(grid, fingerprint);
+        for line in lines {
+            // A line without its trailing newline, or that fails to parse,
+            // is a half-written append: drop it and everything after.
+            let Some(complete) = line.strip_suffix('\n') else {
+                break;
+            };
+            match parse_tile_line(complete, &grid) {
+                Some((id, values)) if !set.tiles.contains_key(&id) => {
+                    set.tiles.insert(id, values);
+                    offset += line.len() as u64;
+                }
+                _ => break,
+            }
+        }
+        Ok((set, offset))
+    }
+}
+
+fn header_lines(out: &mut String, grid: &TileGrid, fingerprint: u64) {
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!(
+        "k {} tile {} fingerprint {fingerprint:016x}\n",
+        grid.k, grid.tile
+    ));
+}
+
+fn tile_line(out: &mut String, id: usize, values: &[f64]) {
+    out.push_str(&format!("T {id} {}", values.len()));
+    for v in values {
+        out.push_str(&format!(" {:016x}", v.to_bits()));
+    }
+    out.push('\n');
+}
+
+fn parse_header(line: &str) -> Option<(TileGrid, u64)> {
+    let mut t = line.split_ascii_whitespace();
+    if t.next()? != "k" {
+        return None;
+    }
+    let k: usize = t.next()?.parse().ok()?;
+    if t.next()? != "tile" {
+        return None;
+    }
+    let tile: usize = t.next()?.parse().ok()?;
+    if t.next()? != "fingerprint" || tile == 0 {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(t.next()?, 16).ok()?;
+    if t.next().is_some() {
+        return None;
+    }
+    Some((TileGrid::new(k, tile), fingerprint))
+}
+
+fn parse_tile_line(line: &str, grid: &TileGrid) -> Option<(usize, Vec<f64>)> {
+    let mut t = line.split_ascii_whitespace();
+    if t.next()? != "T" {
+        return None;
+    }
+    let id: usize = t.next()?.parse().ok()?;
+    if id >= grid.tile_count() {
+        return None;
+    }
+    let count: usize = t.next()?.parse().ok()?;
+    if count != grid.pair_count(id) {
+        return None;
+    }
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(f64::from_bits(u64::from_str_radix(t.next()?, 16).ok()?));
+    }
+    if t.next().is_some() {
+        return None;
+    }
+    Some((id, values))
+}
+
+/// Outcome of a checkpointed shard run: the plan's tiles plus how much of
+/// the plan was resumed from the checkpoint versus computed fresh.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// The plan's tiles, all present.
+    pub tiles: TileSet,
+    /// Plan tiles already complete in the checkpoint when the run began.
+    pub resumed: usize,
+    /// Plan tiles computed (and appended) by this run.
+    pub computed: usize,
+}
+
+impl<'g> SndEngine<'g> {
+    /// Fingerprint binding a tile artifact to everything the distances
+    /// depend on: the graph topology, the engine configuration (clustering
+    /// spec, γ policy, ground costs, solver, scale), and the snapshot set.
+    /// A checkpoint is only resumed — and artifacts only merge — when all
+    /// three match.
+    pub fn shard_fingerprint(&self, states: &[NetworkState]) -> u64 {
+        let mut h = Fnv::new();
+        h.eat(&(self.graph().node_count() as u64).to_le_bytes());
+        for (u, v) in self.graph().edges() {
+            h.eat(&u.to_le_bytes());
+            h.eat(&v.to_le_bytes());
+        }
+        // The config's Debug form covers every field that shapes the
+        // distances; a config change therefore invalidates checkpoints.
+        h.eat(format!("{:?}", self.config()).as_bytes());
+        eat_states(&mut h, states);
+        h.0
+    }
+
+    /// Computes the tiles of a [`ShardPlan`] in memory: rayon fan-out at
+    /// EMD\* term granularity inside each tile, per-state geometry bundles
+    /// (with their shared SSSP row caches) reused across every tile of the
+    /// run and freed once no remaining tile needs them. The union of any
+    /// plan partition, merged, is bit-identical to
+    /// [`pairwise_distances_seq`](Self::pairwise_distances_seq).
+    pub fn pairwise_tiles(&self, states: &[NetworkState], plan: &ShardPlan) -> TileSet {
+        let mut set = TileSet::empty(*plan.grid(), self.shard_fingerprint(states));
+        self.compute_plan_tiles(states, plan, &mut set, &mut |_, _| Ok(()))
+            .expect("in-memory tile computation performs no IO");
+        set
+    }
+
+    /// [`pairwise_tiles`](Self::pairwise_tiles) with checkpointing: tiles
+    /// already present in the file at `path` are skipped, and each newly
+    /// finished tile is appended and flushed, so killing and rerunning the
+    /// same invocation never recomputes completed work. The file doubles
+    /// as the shard's output artifact for [`TileSet::merge`].
+    pub fn pairwise_tiles_checkpointed(
+        &self,
+        states: &[NetworkState],
+        plan: &ShardPlan,
+        path: &Path,
+    ) -> Result<ShardRun, ShardError> {
+        let grid = *plan.grid();
+        let fingerprint = self.shard_fingerprint(states);
+        let mut expected_header = String::new();
+        header_lines(&mut expected_header, &grid, fingerprint);
+        let existing = match std::fs::read_to_string(path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+            Ok(text) if text.is_empty() => None,
+            // A proper prefix of the header this run would write is the
+            // remnant of a kill during the initial header write — no tile
+            // was committed, so start fresh instead of appending tile
+            // lines onto a half-written header.
+            Ok(text) if expected_header.starts_with(&text) => None,
+            Ok(text) => {
+                let (set, clean_len) = TileSet::parse_artifact(&text, path)?;
+                if *set.grid() != grid {
+                    return Err(ShardError::Mismatch(format!(
+                        "checkpoint {} is for k={} tile={}, run wants k={} tile={}",
+                        path.display(),
+                        set.grid().states(),
+                        set.grid().tile_size(),
+                        grid.states(),
+                        grid.tile_size(),
+                    )));
+                }
+                if set.fingerprint() != fingerprint {
+                    return Err(ShardError::Mismatch(format!(
+                        "checkpoint {} was computed from a different graph, \
+                         configuration, or snapshot set \
+                         (fingerprint {:016x}, expected {fingerprint:016x})",
+                        path.display(),
+                        set.fingerprint(),
+                    )));
+                }
+                Some((set, clean_len))
+            }
+        };
+        let (mut set, mut file) = match existing {
+            Some((set, clean_len)) => {
+                // Truncate away any half-written tail, then append.
+                let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
+                file.set_len(clean_len)?;
+                file.seek(SeekFrom::End(0))?;
+                (set, file)
+            }
+            None => {
+                let mut file = std::fs::File::create(path)?;
+                file.write_all(expected_header.as_bytes())?;
+                (TileSet::empty(grid, fingerprint), file)
+            }
+        };
+        let resumed = plan
+            .tile_ids()
+            .iter()
+            .filter(|id| set.contains(**id))
+            .count();
+        self.compute_plan_tiles(states, plan, &mut set, &mut |id, values| {
+            let mut line = String::new();
+            tile_line(&mut line, id, values);
+            file.write_all(line.as_bytes())?;
+            file.flush()?;
+            Ok(())
+        })?;
+        Ok(ShardRun {
+            tiles: set.restrict(plan.tile_ids()),
+            resumed,
+            computed: plan.tile_ids().len() - resumed,
+        })
+    }
+
+    /// Computes the plan's tiles missing from `set`, invoking `on_tile`
+    /// (the checkpoint append hook) before recording each one.
+    fn compute_plan_tiles(
+        &self,
+        states: &[NetworkState],
+        plan: &ShardPlan,
+        set: &mut TileSet,
+        on_tile: &mut OnTile<'_>,
+    ) -> Result<(), ShardError> {
+        let grid = plan.grid();
+        assert_eq!(
+            grid.states(),
+            states.len(),
+            "tile grid sized for a different snapshot set"
+        );
+        let todo: Vec<usize> = plan
+            .tile_ids()
+            .iter()
+            .copied()
+            .filter(|id| !set.contains(*id))
+            .collect();
+
+        // A state's geometry bundle stays alive from the first tile that
+        // needs it to the last, then is dropped — a shard never holds
+        // bundles for states only other shards touch.
+        let mut last_use = vec![usize::MAX; states.len()];
+        let tile_states: Vec<Vec<usize>> = todo
+            .iter()
+            .map(|&id| {
+                let mut touched: Vec<usize> =
+                    grid.pairs(id).iter().flat_map(|&(i, j)| [i, j]).collect();
+                touched.sort_unstable();
+                touched.dedup();
+                touched
+            })
+            .collect();
+        for (pos, touched) in tile_states.iter().enumerate() {
+            for &s in touched {
+                last_use[s] = pos;
+            }
+        }
+
+        let mut geoms: Vec<Option<StateGeometry>> = (0..states.len()).map(|_| None).collect();
+        for (pos, (&id, touched)) in todo.iter().zip(&tile_states).enumerate() {
+            let needed: Vec<usize> = touched
+                .iter()
+                .copied()
+                .filter(|&s| geoms[s].is_none())
+                .collect();
+            let computed: Vec<(usize, StateGeometry)> = needed
+                .par_iter()
+                .map(|&s| (s, self.state_geometry(&states[s])))
+                .collect();
+            for (s, g) in computed {
+                geoms[s] = Some(g);
+            }
+
+            let pairs = grid.pairs(id);
+            // Term-granularity fan-out, exactly like `pairwise_distances`:
+            // the four EMD* solves of a pair are independent, and finer
+            // work items load-balance better than whole pairs.
+            let terms: Vec<f64> = (0..pairs.len() * 4)
+                .into_par_iter()
+                .map(|t| {
+                    let (i, j) = pairs[t / 4];
+                    let (ga, gb) = (
+                        geoms[i].as_ref().expect("geometry materialized"),
+                        geoms[j].as_ref().expect("geometry materialized"),
+                    );
+                    self.pair_term(&states[i], &states[j], ga, gb, t % 4)
+                })
+                .collect();
+            let values: Vec<f64> = terms
+                .chunks_exact(4)
+                .map(|t| {
+                    SndBreakdown {
+                        forward_pos: t[0],
+                        forward_neg: t[1],
+                        backward_pos: t[2],
+                        backward_neg: t[3],
+                    }
+                    .total()
+                })
+                .collect();
+
+            on_tile(id, &values)?;
+            set.insert(id, values);
+            for &s in touched {
+                if last_use[s] == pos {
+                    geoms[s] = None;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SndConfig;
+    use snd_graph::generators::path_graph;
+
+    fn states(k: usize) -> Vec<NetworkState> {
+        (0..k)
+            .map(|t| {
+                let vals: Vec<i8> = (0..8).map(|u| ((u + t) % 3) as i8 - 1).collect();
+                NetworkState::from_values(&vals)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tile_ids_roundtrip_and_cover_every_pair() {
+        for (k, tile) in [(0, 3), (1, 2), (5, 2), (7, 3), (8, 8), (9, 4)] {
+            let grid = TileGrid::new(k, tile);
+            let mut seen = std::collections::BTreeSet::new();
+            for id in 0..grid.tile_count() {
+                let (bi, bj) = grid.coords(id);
+                assert_eq!(grid.id(bi, bj), id, "k={k} tile={tile}");
+                let pairs = grid.pairs(id);
+                assert_eq!(pairs.len(), grid.pair_count(id));
+                for (i, j) in pairs {
+                    assert!(i < j && j < k);
+                    assert!(seen.insert((i, j)), "pair ({i},{j}) appears twice");
+                }
+            }
+            assert_eq!(seen.len(), k * k.saturating_sub(1) / 2, "k={k} tile={tile}");
+        }
+    }
+
+    #[test]
+    fn round_robin_plans_partition_the_grid() {
+        let grid = TileGrid::new(11, 3);
+        for shards in 1..5 {
+            let mut all: Vec<usize> = (0..shards)
+                .flat_map(|s| {
+                    ShardPlan::round_robin(grid, s, shards)
+                        .unwrap()
+                        .tile_ids()
+                        .to_vec()
+                })
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..grid.tile_count()).collect::<Vec<_>>());
+        }
+        assert!(ShardPlan::round_robin(grid, 2, 2).is_err());
+        assert!(ShardPlan::round_robin(grid, 0, 0).is_err());
+    }
+
+    #[test]
+    fn superdiagonal_plan_covers_every_transition() {
+        for (k, tile) in [(2, 1), (6, 2), (9, 4), (10, 3)] {
+            let grid = TileGrid::new(k, tile);
+            let plan = ShardPlan::superdiagonal(grid);
+            let covered: std::collections::BTreeSet<(usize, usize)> = plan
+                .tile_ids()
+                .iter()
+                .flat_map(|&id| grid.pairs(id))
+                .collect();
+            for t in 1..k {
+                assert!(covered.contains(&(t - 1, t)), "k={k} tile={tile} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_tiles_merge_to_the_sequential_matrix() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states(6);
+        let grid = TileGrid::new(6, 2);
+        let parts: Vec<TileSet> = (0..3)
+            .map(|i| engine.pairwise_tiles(&s, &ShardPlan::round_robin(grid, i, 3).unwrap()))
+            .collect();
+        let merged = TileSet::merge(parts).unwrap().to_matrix().unwrap();
+        assert_eq!(merged, engine.pairwise_distances_seq(&s));
+    }
+
+    #[test]
+    fn merge_rejects_holes_and_mismatches() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states(5);
+        let grid = TileGrid::new(5, 2);
+        let part0 = engine.pairwise_tiles(&s, &ShardPlan::round_robin(grid, 0, 2).unwrap());
+        // A lone shard cannot produce the full matrix.
+        assert!(matches!(part0.to_matrix(), Err(ShardError::Holes { .. })));
+        // Mismatched fingerprints refuse to merge.
+        let other = TileSet::empty(grid, part0.fingerprint() ^ 1);
+        assert!(matches!(
+            TileSet::merge([part0.clone(), other]),
+            Err(ShardError::Mismatch(_))
+        ));
+        // Conflicting overlap is rejected; identical overlap is fine.
+        let mut conflicting = part0.clone();
+        let (&id, values) = conflicting.tiles.iter_mut().next().unwrap();
+        if let Some(v) = values.first_mut() {
+            *v += 1.0;
+            assert!(matches!(
+                TileSet::merge([part0.clone(), conflicting]),
+                Err(ShardError::Overlap { tile }) if tile == id
+            ));
+        }
+        assert!(TileSet::merge([part0.clone(), part0]).is_ok());
+    }
+
+    #[test]
+    fn pair_lookup_matches_the_matrix() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states(7);
+        let grid = TileGrid::new(7, 3);
+        let set = engine.pairwise_tiles(&s, &ShardPlan::full(grid));
+        let m = set.to_matrix().unwrap();
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(set.pair(i, j), Some(m.at(i, j)), "({i},{j})");
+            }
+        }
+        assert_eq!(set.pair(0, 7), None);
+    }
+
+    #[test]
+    fn resume_recovers_from_a_half_written_header() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states(4);
+        let grid = TileGrid::new(4, 2);
+        let plan = ShardPlan::full(grid);
+        let path =
+            std::env::temp_dir().join(format!("snd_shard_half_header_{}.ckpt", std::process::id()));
+
+        // Simulate a kill during the very first header write: the file
+        // holds a proper prefix of the header this run would produce.
+        let mut header = String::new();
+        header_lines(&mut header, &grid, engine.shard_fingerprint(&s));
+        for cut in [1, MAGIC.len(), MAGIC.len() + 5, header.len() - 1] {
+            std::fs::write(&path, &header[..cut]).unwrap();
+            let run = engine
+                .pairwise_tiles_checkpointed(&s, &plan, &path)
+                .unwrap();
+            assert_eq!(run.resumed, 0, "nothing was committed before the kill");
+            assert_eq!(
+                run.tiles.to_matrix().unwrap(),
+                engine.pairwise_distances_seq(&s)
+            );
+            // The rewritten file is a complete, loadable artifact.
+            TileSet::load(&path).unwrap();
+        }
+
+        // A half-written header from some *other* run is not silently
+        // clobbered: it surfaces as a format error instead.
+        std::fs::write(&path, "SNDSHARD v1\nk 9 tile 3 fingerprint 0123").unwrap();
+        assert!(matches!(
+            engine.pairwise_tiles_checkpointed(&s, &plan, &path),
+            Err(ShardError::Format(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_binds_states_graph_and_config() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states(4);
+        let base = engine.shard_fingerprint(&s);
+        assert_eq!(base, engine.shard_fingerprint(&s), "deterministic");
+
+        // Different snapshots.
+        assert_ne!(base, engine.shard_fingerprint(&states(5)));
+        // Different configuration over the same graph and snapshots.
+        let other_config = SndConfig {
+            per_bin_gamma: SndConfig::default().per_bin_gamma + 1,
+            ..Default::default()
+        };
+        assert_ne!(base, SndEngine::new(&g, other_config).shard_fingerprint(&s));
+        // Different graph topology.
+        let g2 = snd_graph::generators::cycle_graph(8);
+        assert_ne!(
+            base,
+            SndEngine::new(&g2, SndConfig::default()).shard_fingerprint(&s)
+        );
+    }
+
+    #[test]
+    fn degenerate_sizes_produce_empty_matrices() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        for k in [0, 1] {
+            let grid = TileGrid::new(k, 4);
+            let set = engine.pairwise_tiles(&states(k), &ShardPlan::full(grid));
+            let m = set.to_matrix().unwrap();
+            assert_eq!(m.size(), k);
+        }
+    }
+}

@@ -45,6 +45,14 @@ thread_local! {
     static SSSP_SCRATCH: RefCell<SsspScratch> = RefCell::new(SsspScratch::new());
 }
 
+/// Runs `f` with the calling thread's reusable SSSP scratch. Shared by row
+/// computation here and the per-cluster geometry fan-out in
+/// [`crate::banks`], so every SSSP in the crate reuses one allocation per
+/// thread.
+pub(crate) fn with_sssp_scratch<R>(f: impl FnOnce(&mut SsspScratch) -> R) -> R {
+    SSSP_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
 /// Thread-safe cache of clamped SSSP rows for one ground state, shared
 /// across every comparison grounded in that state (series evaluation,
 /// all-pairs matrices, [`crate::OrderedSnd`] candidate search).
@@ -126,24 +134,11 @@ impl RowCache {
 
 /// One clamped SSSP row, computed on the calling thread's reusable scratch.
 fn compute_row(g: &CsrGraph, geom: &GroundGeometry, reverse: bool, node: NodeId) -> Box<[u32]> {
-    SSSP_SCRATCH.with(|cell| {
-        let mut scratch = cell.borrow_mut();
+    with_sssp_scratch(|scratch| {
         if reverse {
-            dial_reverse_scratch(
-                g,
-                &geom.edge_costs,
-                &[node],
-                geom.max_edge_cost,
-                &mut scratch,
-            );
+            dial_reverse_scratch(g, &geom.edge_costs, &[node], geom.max_edge_cost, scratch);
         } else {
-            dial_scratch(
-                g,
-                &geom.edge_costs,
-                &[node],
-                geom.max_edge_cost,
-                &mut scratch,
-            );
+            dial_scratch(g, &geom.edge_costs, &[node], geom.max_edge_cost, scratch);
         }
         scratch
             .distances(g.node_count())

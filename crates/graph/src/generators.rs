@@ -44,6 +44,11 @@ pub fn scale_free_configuration<R: Rng>(
     rng: &mut R,
 ) -> CsrGraph {
     assert!(exponent < 0.0, "scale-free exponent must be negative");
+    if n <= 1 {
+        // Degenerate sizes admit no ties at all (previously this tripped
+        // the `k_max < n` assertion): return the edgeless graph.
+        return CsrGraph::from_edges(n, &[]);
+    }
     assert!(k_min >= 1 && k_max >= k_min && k_max < n);
     let cdf = power_law_cdf(exponent, k_min, k_max);
     let mut stubs: Vec<NodeId> = Vec::new();
@@ -217,7 +222,7 @@ pub fn cycle_graph(n: usize) -> CsrGraph {
 
 /// Complete graph on `n` nodes (both arcs per pair).
 pub fn complete_graph(n: usize) -> CsrGraph {
-    let mut edges = Vec::with_capacity(n * (n - 1));
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
     for u in 0..n as NodeId {
         for v in 0..n as NodeId {
             if u != v {
@@ -266,6 +271,26 @@ mod tests {
         // Bidirectional: out-degree equals in-degree.
         for u in g.nodes() {
             assert_eq!(g.out_degree(u), g.in_degree(u));
+        }
+    }
+
+    #[test]
+    fn scale_free_degenerate_sizes_yield_edgeless_graphs() {
+        // Regression: n = 0 and n = 1 used to panic the `k_max < n`
+        // assertion; they must produce empty graphs instead.
+        let mut rng = SmallRng::seed_from_u64(2);
+        for n in [0, 1] {
+            let g = scale_free_configuration(n, -2.5, 1, 40, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), 0);
+        }
+        // Other size-reducing generators accept the degenerate sizes too.
+        for n in [0, 1] {
+            assert_eq!(complete_graph(n).edge_count(), 0);
+            assert_eq!(path_graph(n).edge_count(), 0);
+            assert_eq!(grid_graph(n, n).edge_count(), 0);
+            assert_eq!(erdos_renyi_gnp(n, 0.5, true, &mut rng).edge_count(), 0);
+            assert_eq!(erdos_renyi_gnm(n, 0, &mut rng).edge_count(), 0);
         }
     }
 

@@ -72,6 +72,24 @@
 //! assert_eq!(matrix.adjacent().len(), 2); // the series, for free
 //! ```
 //!
+//! ## Sharded evaluation with checkpoint/resume
+//!
+//! The all-pairs matrix is embarrassingly block-parallel, and
+//! [`core::shard`] scales it past one machine: a
+//! [`TileGrid`](core::TileGrid) decomposes the upper triangle into
+//! deterministic tiles, a [`ShardPlan`](core::ShardPlan) names the tiles
+//! one worker computes
+//! ([`pairwise_tiles`](core::SndEngine::pairwise_tiles)), each finished
+//! tile streams to a checkpoint file
+//! ([`pairwise_tiles_checkpointed`](core::SndEngine::pairwise_tiles_checkpointed))
+//! so interrupted runs resume without recomputation, and
+//! [`TileSet::merge`](core::TileSet::merge) reassembles the shards'
+//! partial artifacts into the full matrix with overlap/hole validation —
+//! bit-identical to the sequential loop (`tests/shard_matrix.rs`). The
+//! `snd shard` CLI subcommand drives the same workflow from the command
+//! line, and [`analysis::resume`] offers checkpoint-backed
+//! pairwise/series entry points.
+//!
 //! ## Threading model
 //!
 //! [`SndEngine`](core::SndEngine) is immutable after construction and
