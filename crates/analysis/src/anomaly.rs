@@ -31,6 +31,47 @@ pub fn anomaly_scores_from_matrix(
     anomaly_scores(&crate::series::processed_adjacent(matrix, states))
 }
 
+/// Summary of a labelled detection run: what was flagged, how much of it
+/// was right, and the ranking quality — the per-scenario report the
+/// simulate → anomaly workflow prints.
+#[derive(Clone, Debug)]
+pub struct DetectionReport {
+    /// The `k` flagged transitions, highest score first.
+    pub flagged: Vec<usize>,
+    /// How many flagged transitions are labelled anomalous.
+    pub hits: usize,
+    /// Number of transitions flagged (`min(k, transitions)`).
+    pub k: usize,
+    /// Labelled anomalies in the series.
+    pub positives: usize,
+    /// ROC AUC of the full score ranking (0.5 = chance); `None` when the
+    /// labels are one-class (no ranking to grade).
+    pub auc: Option<f64>,
+}
+
+/// Grades anomaly `scores` against ground-truth `labels`: top-`k` flags
+/// with hit count, plus the AUC of the full ranking. `labels` may be
+/// shorter than `scores` (missing entries count as normal).
+pub fn evaluate_detection(scores: &[f64], labels: &[bool], k: usize) -> DetectionReport {
+    let flagged = top_k_anomalies(scores, k);
+    let is_anomalous = |t: usize| labels.get(t).copied().unwrap_or(false);
+    let hits = flagged.iter().filter(|&&t| is_anomalous(t)).count();
+    let positives = (0..scores.len()).filter(|&t| is_anomalous(t)).count();
+    let auc = if positives > 0 && positives < scores.len() {
+        let full: Vec<bool> = (0..scores.len()).map(is_anomalous).collect();
+        Some(crate::roc::auc(&crate::roc::roc_curve(scores, &full)))
+    } else {
+        None
+    };
+    DetectionReport {
+        k: flagged.len(),
+        flagged,
+        hits,
+        positives,
+        auc,
+    }
+}
+
 /// Indices of the `k` highest-scoring transitions, in decreasing score
 /// order (stable on ties by index).
 pub fn top_k_anomalies(scores: &[f64], k: usize) -> Vec<usize> {
@@ -71,6 +112,24 @@ mod tests {
         let s = anomaly_scores(&[1.0, 0.5, 0.0]);
         assert_eq!(s[0], 0.0);
         assert_eq!(s[2], 0.0);
+    }
+
+    #[test]
+    fn detection_report_counts_hits_and_grades_ranking() {
+        let scores = [0.0, 0.1, 2.0, 0.1, 1.5, 0.0];
+        let labels = [false, false, true, false, true, false];
+        let report = evaluate_detection(&scores, &labels, 2);
+        assert_eq!(report.flagged, vec![2, 4]);
+        assert_eq!(report.hits, 2);
+        assert_eq!(report.positives, 2);
+        assert!(report.auc.expect("two-class labels") > 0.99);
+
+        // Short label vectors: the tail counts as normal.
+        let report = evaluate_detection(&scores, &labels[..3], 2);
+        assert_eq!(report.hits, 1);
+
+        // One-class labels carry no ranking signal.
+        assert!(evaluate_detection(&scores, &[false; 6], 2).auc.is_none());
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub mod roc;
 pub mod series;
 pub mod snd_distance;
 
-pub use anomaly::{anomaly_scores, anomaly_scores_from_matrix, top_k_anomalies};
+pub use anomaly::{
+    anomaly_scores, anomaly_scores_from_matrix, evaluate_detection, top_k_anomalies,
+    DetectionReport,
+};
 pub use cluster::{
     classify_1nn, k_medoids, nearest_neighbor, pairwise_distances, MedoidClustering,
 };

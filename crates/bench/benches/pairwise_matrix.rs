@@ -30,7 +30,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use snd_core::{ShardPlan, SndConfig, SndEngine, StateGeometry, TileGrid, TileSet, DEFAULT_TILE};
+use snd_core::{auto_tile, ShardPlan, SndConfig, SndEngine, StateGeometry, TileGrid, TileSet};
 use snd_data::{generate_series, SyntheticSeriesConfig};
 use snd_models::dynamics::VotingConfig;
 
@@ -53,8 +53,8 @@ fn bench_pairwise_matrix(c: &mut Criterion) {
         exponent: -2.3,
         initial_adopters: (nodes / 25).max(20),
         steps: snapshots - 1,
-        normal: VotingConfig::new(0.12, 0.01),
-        anomalous: VotingConfig::new(0.12, 0.01),
+        normal: VotingConfig::new(0.12, 0.01).expect("valid voting parameters"),
+        anomalous: VotingConfig::new(0.12, 0.01).expect("valid voting parameters"),
         anomalous_steps: vec![],
         chance_fraction: 0.02,
         burn_in: 0,
@@ -90,7 +90,8 @@ fn bench_pairwise_matrix(c: &mut Criterion) {
     });
 
     let shards = env_usize("SND_BENCH_SHARDS", 2).max(2);
-    let grid = TileGrid::new(states.len(), DEFAULT_TILE);
+    let tile = auto_tile(states.len(), nodes);
+    let grid = TileGrid::new(states.len(), tile);
     group.bench_with_input(
         BenchmarkId::new(format!("sharded_{shards}"), &label),
         &(),
@@ -111,11 +112,11 @@ fn bench_pairwise_matrix(c: &mut Criterion) {
     );
     group.finish();
 
-    write_history(nodes, snapshots, series.graph.edge_count(), shards);
+    write_history(nodes, snapshots, series.graph.edge_count(), shards, tile);
 }
 
 /// Records the measurements as `BENCH_pairwise.json` at the repo root.
-fn write_history(nodes: usize, snapshots: usize, edges: usize, shards: usize) {
+fn write_history(nodes: usize, snapshots: usize, edges: usize, shards: usize, tile: usize) {
     let measurements = criterion::take_measurements();
     let mean = |needle: &str| {
         measurements
@@ -145,7 +146,6 @@ fn write_history(nodes: usize, snapshots: usize, edges: usize, shards: usize) {
          \"sharded_overhead_vs_cold\": {so:.2},\n  \
          \"speedup_cold\": {sc:.2},\n  \"speedup_warm\": {sw:.2}\n}}\n",
         threads = rayon::current_num_threads(),
-        tile = DEFAULT_TILE,
         so = sharded / cold,
         sc = seq / cold,
         sw = seq / warm,

@@ -12,7 +12,7 @@ use snd_models::dynamics::seed_initial_adopters;
 use snd_models::{NetworkState, Opinion};
 
 fn states_with_ndelta(n: usize, ndelta: usize, rng: &mut SmallRng) -> (NetworkState, NetworkState) {
-    let a = seed_initial_adopters(n, 2 * ndelta, rng);
+    let a = seed_initial_adopters(n, 2 * ndelta, rng).expect("seed count within population");
     let mut b = a.clone();
     let mut changed = 0usize;
     while changed < ndelta {

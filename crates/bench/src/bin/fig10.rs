@@ -41,7 +41,8 @@ fn main() {
     let mut anomalous_points = Vec::new();
     for trial in 0..pairs {
         let seeds = nodes / 30 + trial * (nodes / 120).max(1);
-        let start = seed_initial_adopters(nodes, seeds, &mut rng);
+        let start =
+            seed_initial_adopters(nodes, seeds, &mut rng).expect("seed count within population");
         let normal = icc_step(&graph, &start, &params, &mut rng);
         let nd = start.diff_count(&normal);
         let snd_n = engine.distance(&start, &normal);

@@ -35,8 +35,8 @@ fn main() {
         exponent: -2.3,
         initial_adopters: nodes / 50,
         steps,
-        normal: VotingConfig::new(0.12, 0.01),
-        anomalous: VotingConfig::new(0.08, 0.05),
+        normal: VotingConfig::new(0.12, 0.01).expect("valid voting parameters"),
+        anomalous: VotingConfig::new(0.08, 0.05).expect("valid voting parameters"),
         anomalous_steps: vec![steps / 5, (2 * steps) / 5, (3 * steps) / 5],
         chance_fraction: 1.0,
         burn_in: 0,

@@ -60,8 +60,8 @@ fn main() {
                 exponent: -2.3,
                 initial_adopters: nodes / 50,
                 steps,
-                normal: VotingConfig::new(0.08, 0.001),
-                anomalous: VotingConfig::new(0.07, 0.011),
+                normal: VotingConfig::new(0.08, 0.001).expect("valid voting parameters"),
+                anomalous: VotingConfig::new(0.07, 0.011).expect("valid voting parameters"),
                 anomalous_steps,
                 chance_fraction: 1.0,
                 burn_in: 0,

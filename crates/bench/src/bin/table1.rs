@@ -48,8 +48,8 @@ fn main() {
         exponent: -2.5,
         initial_adopters: (nodes / 12).max(50),
         steps: 5,
-        normal: VotingConfig::new(0.10, 0.02),
-        anomalous: VotingConfig::new(0.10, 0.02),
+        normal: VotingConfig::new(0.10, 0.02).expect("valid voting parameters"),
+        anomalous: VotingConfig::new(0.10, 0.02).expect("valid voting parameters"),
         anomalous_steps: vec![],
         chance_fraction: 0.10,
         burn_in: 4,

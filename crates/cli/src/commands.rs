@@ -6,12 +6,15 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use snd_analysis::series::processed_series;
 use snd_analysis::{
-    accuracy, anomaly_scores, distance_based_prediction, extrapolate_linear, select_targets,
-    top_k_anomalies,
+    accuracy, anomaly_scores, distance_based_prediction, evaluate_detection, extrapolate_linear,
+    select_targets,
 };
 use snd_baselines::{Hamming, QuadForm, StateDistance, WalkDist};
-use snd_core::{OrderedSnd, ShardPlan, SndConfig, SndEngine, TileGrid, TileSet, DEFAULT_TILE};
-use snd_data::{generate_series, simulate_twitter, SyntheticSeriesConfig, TwitterSimConfig};
+use snd_core::{auto_tile, OrderedSnd, ShardPlan, SndConfig, SndEngine, TileGrid, TileSet};
+use snd_data::{
+    find_scenario, generate_series, registry, simulate_twitter, SyntheticSeries,
+    SyntheticSeriesConfig, TwitterSimConfig,
+};
 use snd_models::dynamics::VotingConfig;
 use snd_models::{NetworkState, Opinion};
 
@@ -48,22 +51,29 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         }
     } else {
         let steps = opt(args, "--steps").unwrap_or(20usize);
+        // Structured validation: a bad --p-nbr/--p-ext split comes back as
+        // a printable CLI error, not a library panic.
+        let normal = VotingConfig::new(
+            opt(args, "--p-nbr").unwrap_or(0.12),
+            opt(args, "--p-ext").unwrap_or(0.01),
+        )
+        .map_err(|e| e.to_string())?;
+        let anomalous = VotingConfig::new(
+            opt(args, "--p-nbr-anomalous").unwrap_or(0.08),
+            opt(args, "--p-ext-anomalous").unwrap_or(0.05),
+        )
+        .map_err(|e| e.to_string())?;
         let series = generate_series(&SyntheticSeriesConfig {
             nodes: opt(args, "--nodes").unwrap_or(2000),
             steps,
             initial_adopters: opt(args, "--seeds").unwrap_or(100),
-            normal: VotingConfig::new(0.12, 0.01),
-            anomalous: VotingConfig::new(0.08, 0.05),
+            normal,
+            anomalous,
             anomalous_steps: vec![steps / 3, (2 * steps) / 3],
             seed,
             ..Default::default()
         });
-        Dataset {
-            nodes: series.graph.node_count(),
-            edges: series.graph.edges().collect(),
-            states: series.states.iter().map(|s| s.values()).collect(),
-            labels: series.labels,
-        }
+        dataset_from_series(&series)
     };
     dataset.save(&out)?;
     println!(
@@ -72,6 +82,67 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         dataset.nodes,
         dataset.edges.len(),
         dataset.states.len()
+    );
+    Ok(())
+}
+
+/// A dataset in the wire format from any simulated series.
+fn dataset_from_series(series: &SyntheticSeries) -> Dataset {
+    Dataset {
+        nodes: series.graph.node_count(),
+        edges: series.graph.edges().collect(),
+        states: series.states.iter().map(|s| s.values()).collect(),
+        labels: series.labels.clone(),
+    }
+}
+
+/// `snd simulate`: runs a named scenario from the registry and writes the
+/// resulting series in the dataset format, so `snd
+/// distance/anomaly/predict/shard` consume it directly.
+///
+/// ```text
+/// snd simulate --list
+/// snd simulate --scenario NAME [--nodes N] [--steps T] [--seed S] --out FILE
+/// ```
+pub fn simulate(args: &[String]) -> Result<(), String> {
+    if flag(args, "--list") {
+        println!("{:<22} {:<20} description", "scenario", "model");
+        for sc in registry() {
+            println!(
+                "{:<22} {:<20} {}",
+                sc.name,
+                sc.model.family(),
+                sc.description
+            );
+        }
+        return Ok(());
+    }
+    let name: String =
+        opt(args, "--scenario").ok_or("missing --scenario NAME (see snd simulate --list)")?;
+    let mut scenario = find_scenario(&name)
+        .ok_or_else(|| format!("unknown scenario '{name}' (see snd simulate --list)"))?;
+    if let Some(nodes) = opt(args, "--nodes") {
+        scenario.nodes = nodes;
+    }
+    if let Some(steps) = opt(args, "--steps") {
+        scenario.steps = steps;
+    }
+    let seed = opt(args, "--seed").unwrap_or(7u64);
+    let out: String = opt(args, "--out").ok_or("missing --out FILE")?;
+
+    let series = scenario.run(seed).map_err(|e| e.to_string())?;
+    let dataset = dataset_from_series(&series);
+    dataset.save(&out)?;
+    println!(
+        "scenario '{}' (model {}, graph {}, seed {seed}): wrote {out}: {} users, {} edges, {} \
+         states, {} labelled anomalies",
+        scenario.name,
+        scenario.model.family(),
+        scenario.graph.label(),
+        dataset.nodes,
+        dataset.edges.len(),
+        dataset.states.len(),
+        dataset.labels.iter().filter(|&&l| l).count(),
     );
     Ok(())
 }
@@ -121,14 +192,16 @@ pub fn anomaly(args: &[String]) -> Result<(), String> {
             if label { "anomalous" } else { "" }
         );
     }
-    let top = top_k_anomalies(&scores, k);
-    println!("\ntop-{k} flagged transitions: {top:?}");
+    let report = evaluate_detection(&scores, &dataset.labels, k);
+    println!(
+        "\ntop-{} flagged transitions: {:?}",
+        report.k, report.flagged
+    );
     if !dataset.labels.is_empty() {
-        let hits = top
-            .iter()
-            .filter(|&&t| dataset.labels.get(t).copied().unwrap_or(false))
-            .count();
-        println!("matches ground truth: {hits}/{k}");
+        println!("matches ground truth: {}/{}", report.hits, report.k);
+        if let Some(auc) = report.auc {
+            println!("ranking AUC: {auc:.3}");
+        }
     }
     Ok(())
 }
@@ -148,8 +221,7 @@ pub fn shard(args: &[String]) -> Result<(), String> {
     let checkpoint: String = opt(args, "--checkpoint").ok_or("missing --checkpoint FILE")?;
     let spec: String = opt(args, "--shard").unwrap_or_else(|| "0/1".to_string());
     let (index, count) = parse_shard_spec(&spec)?;
-    let tile: usize = opt(args, "--tile").unwrap_or(DEFAULT_TILE);
-    if tile == 0 {
+    if opt::<usize>(args, "--tile") == Some(0) {
         return Err("--tile must be at least 1".into());
     }
 
@@ -157,6 +229,17 @@ pub fn shard(args: &[String]) -> Result<(), String> {
     let graph = dataset.graph();
     let states = dataset.network_states();
     let engine = SndEngine::new(&graph, SndConfig::default());
+    // Default tile follows the workload shape; every shard of a run
+    // derives the same grid as long as all pass the same (or no) --tile.
+    // A pre-existing checkpoint wins over the heuristic: resuming a run
+    // started under a different default must not invalidate its tiles.
+    let tile: usize = match opt(args, "--tile") {
+        Some(t) => t,
+        None => match TileSet::load(Path::new(&checkpoint)) {
+            Ok(existing) => existing.grid().tile_size(),
+            Err(_) => auto_tile(states.len(), graph.node_count()),
+        },
+    };
     let grid = TileGrid::new(states.len(), tile);
     let plan = ShardPlan::round_robin(grid, index, count).map_err(|e| e.to_string())?;
 

@@ -3,6 +3,9 @@
 //! ```text
 //! snd generate --nodes 2000 --steps 20 --out data.json   # synthetic series
 //! snd generate --twitter --out data.json                 # simulated Twitter
+//! snd simulate --list                                    # scenario registry
+//! snd simulate --scenario majority-consensus \
+//!              --seed 3 --out data.json                  # any dynamics model
 //! snd distance --data data.json --t1 0 --t2 1            # all measures
 //! snd anomaly --data data.json                           # score the series
 //! snd predict --data data.json                           # hide & recover opinions
@@ -25,6 +28,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
+        "simulate" => commands::simulate(rest),
         "distance" => commands::distance(rest),
         "anomaly" => commands::anomaly(rest),
         "predict" => commands::predict(rest),
@@ -51,6 +55,8 @@ fn print_usage() {
          \n\
          USAGE:\n\
          \u{20}  snd generate [--nodes N] [--steps S] [--twitter] [--seed K] --out FILE\n\
+         \u{20}  snd simulate --scenario NAME [--nodes N] [--steps T] [--seed S] --out FILE\n\
+         \u{20}  snd simulate --list\n\
          \u{20}  snd distance --data FILE [--t1 I] [--t2 J]\n\
          \u{20}  snd anomaly  --data FILE [--top K]\n\
          \u{20}  snd predict  --data FILE [--targets K] [--candidates C]\n\

@@ -43,5 +43,7 @@ pub use batch::DistanceMatrix;
 pub use config::{ClusterSpec, GammaPolicy, SndConfig};
 pub use engine::{SndBreakdown, SndEngine, StateGeometry};
 pub use ordered::OrderedSnd;
-pub use shard::{states_fingerprint, ShardError, ShardPlan, TileGrid, TileSet, DEFAULT_TILE};
+pub use shard::{
+    auto_tile, states_fingerprint, ShardError, ShardPlan, TileGrid, TileSet, DEFAULT_TILE,
+};
 pub use sparse::RowCache;

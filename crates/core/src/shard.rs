@@ -86,8 +86,41 @@ use crate::engine::{SndBreakdown, SndEngine, StateGeometry};
 
 /// Default tile edge (states per block): `8 × 8` tiles hold up to 64
 /// pairs — coarse enough that checkpoint appends are rare, fine enough
-/// that a killed run loses little work.
+/// that a killed run loses little work. Prefer [`auto_tile`], which sizes
+/// the tile from the workload instead.
 pub const DEFAULT_TILE: usize = 8;
+
+/// Picks a tile size from the workload shape — the first step of tile-size
+/// autotuning.
+///
+/// Two forces pull in opposite directions. More, smaller tiles balance
+/// round-robin shard plans and lose less work on a kill (checkpoint
+/// granularity). But the *duplicated* cost of a sharded run is per-state
+/// geometry: every shard computes geometry bundles for each state its
+/// tiles touch, and small tiles scatter each state's pairs across many
+/// shards — so the more expensive geometry is (bigger graphs), the larger
+/// the tile should be. The heuristic aims for roughly eight block-rows
+/// and caps the tile by a graph-size-dependent ceiling.
+///
+/// Deliberately a function of `(states, nodes)` only — never thread count
+/// or machine state — so every shard of a distributed run agrees on the
+/// grid without coordination.
+pub fn auto_tile(states: usize, nodes: usize) -> usize {
+    let k = states.max(2);
+    // ~8 block-rows => ~36 upper-triangle tiles: enough for round-robin
+    // balance at typical shard counts.
+    let balance = k.div_ceil(8);
+    // Geometry cost grows with the graph; larger graphs take larger tiles
+    // so each state's row of pairs stays on fewer shards.
+    let cap = if nodes > 200_000 {
+        32
+    } else if nodes > 20_000 {
+        16
+    } else {
+        8
+    };
+    balance.clamp(2, cap).min(k)
+}
 
 const MAGIC: &str = "SNDSHARD v1";
 
@@ -866,6 +899,43 @@ mod tests {
                 NetworkState::from_values(&vals)
             })
             .collect()
+    }
+
+    #[test]
+    fn auto_tile_small_grids_stay_fine_grained() {
+        // A handful of snapshots on a small graph: minimum tile, but the
+        // grid still has several tiles to spread across shards.
+        let tile = auto_tile(4, 1_000);
+        assert_eq!(tile, 2);
+        assert!(TileGrid::new(4, tile).tile_count() >= 3);
+        // Degenerate sizes stay valid (tile >= 1, tile <= max(k, 2)).
+        assert_eq!(auto_tile(0, 0), 2);
+        assert_eq!(auto_tile(1, 10), 2);
+    }
+
+    #[test]
+    fn auto_tile_large_series_keeps_many_tiles() {
+        // 512 snapshots: tile capped well below k so round-robin plans
+        // have plenty of tiles to balance.
+        let tile = auto_tile(512, 10_000);
+        assert!(
+            (2..=16).contains(&tile),
+            "tile {tile} out of expected range"
+        );
+        assert!(TileGrid::new(512, tile).tile_count() >= 64);
+    }
+
+    #[test]
+    fn auto_tile_grows_with_graph_size() {
+        // Bigger graphs (more expensive geometry) take coarser tiles.
+        let small = auto_tile(256, 10_000);
+        let medium = auto_tile(256, 100_000);
+        let large = auto_tile(256, 1_000_000);
+        assert!(small <= medium && medium <= large);
+        assert!(large > small, "{small} .. {large}");
+        // But never machine state: repeated calls agree (shards must
+        // derive identical grids independently).
+        assert_eq!(auto_tile(256, 100_000), medium);
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! Workload generators for the SND experiments.
 //!
+//! * [`scenario`] — **the scenario registry**: named, seeded simulation
+//!   specs composing a graph generator, an initial seeding, any
+//!   [`OpinionDynamics`](snd_models::OpinionDynamics) model, and an
+//!   anomaly-injection schedule into a reproducible labelled series. The
+//!   engine behind `snd simulate`.
 //! * [`synthetic`] — scale-free networks with a probabilistic-voting
 //!   activation process and injected mechanism anomalies (§6.1–§6.2): the
 //!   data behind Figs. 7, 8 and Table 1's synthetic column.
@@ -9,8 +14,13 @@
 //!   for the substitution rationale. Data behind Fig. 9 and Table 1's
 //!   real-world column.
 
+pub mod scenario;
 pub mod synthetic;
 pub mod twitter;
 
+pub use scenario::{
+    find_scenario, registry, AnomalyPlacement, AnomalySpec, GraphSpec, ModelSpec, Scenario,
+    ScenarioError,
+};
 pub use synthetic::{generate_series, SyntheticSeries, SyntheticSeriesConfig};
 pub use twitter::{simulate_twitter, Event, EventKind, TwitterSim, TwitterSimConfig};

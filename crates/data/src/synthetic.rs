@@ -17,8 +17,9 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use snd_graph::{generators, CsrGraph};
-use snd_models::dynamics::{seed_initial_adopters, voting_step_sampled, VotingConfig};
-use snd_models::NetworkState;
+use snd_models::dynamics::{seed_initial_adopters, VotingConfig};
+use snd_models::process::Voting;
+use snd_models::{NetworkState, OpinionDynamics};
 
 /// Configuration for [`generate_series`].
 #[derive(Clone, Debug)]
@@ -55,8 +56,8 @@ impl Default for SyntheticSeriesConfig {
             exponent: -2.3,
             initial_adopters: 300,
             steps: 40,
-            normal: VotingConfig::new(0.12, 0.01),
-            anomalous: VotingConfig::new(0.08, 0.05),
+            normal: VotingConfig::new(0.12, 0.01).expect("valid voting parameters"),
+            anomalous: VotingConfig::new(0.08, 0.05).expect("valid voting parameters"),
             anomalous_steps: vec![10, 25],
             chance_fraction: 0.12,
             burn_in: 4,
@@ -103,6 +104,12 @@ fn active_neighbor_fraction(graph: &CsrGraph, state: &NetworkState) -> f64 {
 }
 
 /// Generates a synthetic series per the configuration.
+///
+/// Steps run through the trait-based [`Voting`] kernel (bit-identical to
+/// the pre-trait `voting_step_sampled` loop for a fixed seed); the
+/// volume-calibration logic between steps is what makes this generator the
+/// §6.2-faithful one — the generic path for arbitrary models is the
+/// scenario registry in [`crate::scenario`].
 pub fn generate_series(config: &SyntheticSeriesConfig) -> SyntheticSeries {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let k_max = (config.nodes / 50).clamp(8, 1000);
@@ -115,19 +122,25 @@ pub fn generate_series(config: &SyntheticSeriesConfig) -> SyntheticSeries {
         assert!(t < config.steps, "anomalous step {t} out of range");
         labels[t] = true;
     }
-    let mut current = seed_initial_adopters(config.nodes, config.initial_adopters, &mut rng);
+    let normal = Voting::sampled(config.normal, chances);
+    let mut current = seed_initial_adopters(
+        config.nodes,
+        config.initial_adopters.min(config.nodes),
+        &mut rng,
+    )
+    .expect("adopter count clamped to the population");
     for _ in 0..config.burn_in {
-        current = voting_step_sampled(&graph, &current, &config.normal, chances, &mut rng);
+        normal.step(&graph, &mut current, &mut rng);
     }
 
     let mut states = Vec::with_capacity(config.steps + 1);
     states.push(current);
     for &anomalous in &labels {
-        let prev = states.last().unwrap();
-        let next = if anomalous {
+        let mut next = states.last().unwrap().clone();
+        if anomalous {
             // Volume calibration: match the expected activation count of a
             // normal step at the current density.
-            let pf = active_neighbor_fraction(&graph, prev);
+            let pf = active_neighbor_fraction(&graph, &next);
             let normal_rate = config.normal.p_nbr * pf + config.normal.p_ext;
             let anomalous_rate = config.anomalous.p_nbr * pf + config.anomalous.p_ext;
             let calibrated = if anomalous_rate > 0.0 {
@@ -135,10 +148,10 @@ pub fn generate_series(config: &SyntheticSeriesConfig) -> SyntheticSeries {
             } else {
                 chances
             };
-            voting_step_sampled(&graph, prev, &config.anomalous, calibrated, &mut rng)
+            Voting::sampled(config.anomalous, calibrated).step(&graph, &mut next, &mut rng);
         } else {
-            voting_step_sampled(&graph, prev, &config.normal, chances, &mut rng)
-        };
+            normal.step(&graph, &mut next, &mut rng);
+        }
         states.push(next);
     }
     SyntheticSeries {

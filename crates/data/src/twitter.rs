@@ -81,7 +81,7 @@ impl Default for TwitterSimConfig {
             users: 10_000,
             avg_degree: 130,
             quarters: 13,
-            baseline: VotingConfig::new(0.10, 0.01),
+            baseline: VotingConfig::new(0.10, 0.01).expect("valid voting parameters"),
             chance_fraction: 0.06,
             churn: 0.08,
             events: default_timeline(),
@@ -186,11 +186,10 @@ pub fn simulate_twitter(config: &TwitterSimConfig) -> TwitterSim {
     let chances = ((config.users as f64) * config.chance_fraction).round() as usize;
     let mut states = Vec::with_capacity(config.quarters);
     let mut labels = vec![false; config.quarters - 1];
-    states.push(seed_initial_adopters(
-        config.users,
-        config.users / 20,
-        &mut rng,
-    ));
+    states.push(
+        seed_initial_adopters(config.users, config.users / 20, &mut rng)
+            .expect("seed count is a twentieth of the population"),
+    );
 
     for q in 1..config.quarters {
         let mut state = states.last().unwrap().clone();

@@ -19,6 +19,7 @@
 use rand::Rng;
 use snd_graph::{CsrGraph, NodeId};
 
+use crate::error::{probability, ModelError};
 use crate::icc::IccParams;
 use crate::ltc::LtcParams;
 use crate::state::{NetworkState, Opinion};
@@ -34,10 +35,15 @@ pub struct VotingConfig {
 }
 
 impl VotingConfig {
-    /// Creates a config; probabilities must sum to at most 1.
-    pub fn new(p_nbr: f64, p_ext: f64) -> Self {
-        assert!(p_nbr >= 0.0 && p_ext >= 0.0 && p_nbr + p_ext <= 1.0);
-        VotingConfig { p_nbr, p_ext }
+    /// Creates a config. Both values must be probabilities and their sum —
+    /// the total activation chance per step — must not exceed 1.
+    pub fn new(p_nbr: f64, p_ext: f64) -> Result<Self, ModelError> {
+        let p_nbr = probability("p_nbr", p_nbr)?;
+        let p_ext = probability("p_ext", p_ext)?;
+        if p_nbr + p_ext > 1.0 {
+            return Err(ModelError::ProbabilitySumExceedsOne { p_nbr, p_ext });
+        }
+        Ok(VotingConfig { p_nbr, p_ext })
     }
 }
 
@@ -251,10 +257,24 @@ pub fn random_activation_step<R: Rng>(
 
 /// Seeds `count` initial adopters uniformly at random, split approximately
 /// evenly between the two opinions (the paper's initial network state).
-pub fn seed_initial_adopters<R: Rng>(n: usize, count: usize, rng: &mut R) -> NetworkState {
+///
+/// Errors when `count > n` — asking for more adopters than users is a
+/// configuration mistake, not something to silently clamp.
+pub fn seed_initial_adopters<R: Rng>(
+    n: usize,
+    count: usize,
+    rng: &mut R,
+) -> Result<NetworkState, ModelError> {
+    if count > n {
+        return Err(ModelError::CountExceedsPopulation {
+            what: "initial adopter",
+            count,
+            population: n,
+        });
+    }
     let mut state = NetworkState::new_neutral(n);
     let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
-    let k = count.min(n);
+    let k = count;
     for i in 0..k {
         let j = rng.gen_range(i..ids.len());
         ids.swap(i, j);
@@ -265,7 +285,7 @@ pub fn seed_initial_adopters<R: Rng>(n: usize, count: usize, rng: &mut R) -> Net
         };
         state.set(ids[i], op);
     }
-    state
+    Ok(state)
 }
 
 #[cfg(test)]
@@ -279,8 +299,8 @@ mod tests {
     fn voting_step_only_activates_neutral_users() {
         let mut rng = SmallRng::seed_from_u64(1);
         let g = barabasi_albert(200, 3, &mut rng);
-        let state = seed_initial_adopters(200, 20, &mut rng);
-        let next = voting_step(&g, &state, &VotingConfig::new(0.3, 0.1), &mut rng);
+        let state = seed_initial_adopters(200, 20, &mut rng).unwrap();
+        let next = voting_step(&g, &state, &VotingConfig::new(0.3, 0.1).unwrap(), &mut rng);
         for v in g.nodes() {
             if state.opinion(v).is_active() {
                 assert_eq!(state.opinion(v), next.opinion(v), "active users never flip");
@@ -296,9 +316,19 @@ mod tests {
         // starves.
         let mut rng = SmallRng::seed_from_u64(2);
         let g = barabasi_albert(2000, 3, &mut rng);
-        let state = seed_initial_adopters(2000, 1000, &mut rng);
-        let a = voting_step(&g, &state, &VotingConfig::new(0.15, 0.05), &mut rng);
-        let b = voting_step(&g, &state, &VotingConfig::new(0.05, 0.15), &mut rng);
+        let state = seed_initial_adopters(2000, 1000, &mut rng).unwrap();
+        let a = voting_step(
+            &g,
+            &state,
+            &VotingConfig::new(0.15, 0.05).unwrap(),
+            &mut rng,
+        );
+        let b = voting_step(
+            &g,
+            &state,
+            &VotingConfig::new(0.05, 0.15).unwrap(),
+            &mut rng,
+        );
         let new_a = a.active_count() - state.active_count();
         let new_b = b.active_count() - state.active_count();
         // Same p_nbr + p_ext => similar activation volume (within noise).
@@ -372,7 +402,7 @@ mod tests {
     #[test]
     fn seeding_is_balanced() {
         let mut rng = SmallRng::seed_from_u64(7);
-        let state = seed_initial_adopters(1000, 100, &mut rng);
+        let state = seed_initial_adopters(1000, 100, &mut rng).unwrap();
         assert_eq!(state.active_count(), 100);
         let pos = state.count(Opinion::Positive);
         assert_eq!(pos, 50);

@@ -1,0 +1,123 @@
+//! Structured validation errors for model parameters.
+//!
+//! Constructors validate instead of `assert!`-ing so a bad parameter coming
+//! from a config file or CLI flag surfaces as a printable error, not a
+//! panic in library code.
+
+use std::fmt;
+
+/// A model parameter rejected at construction time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// A probability-like parameter outside `[0, 1]` (or NaN).
+    InvalidProbability {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The voting split `p_nbr + p_ext` exceeds 1.
+    ProbabilitySumExceedsOne {
+        /// Neighbor-adoption probability.
+        p_nbr: f64,
+        /// External-adoption probability.
+        p_ext: f64,
+    },
+    /// A requested seed/activation count larger than the population.
+    CountExceedsPopulation {
+        /// What was being counted.
+        what: &'static str,
+        /// Requested count.
+        count: usize,
+        /// Population size.
+        population: usize,
+    },
+    /// A per-edge or per-node parameter vector of the wrong length.
+    LengthMismatch {
+        /// What the vector parameterizes.
+        what: &'static str,
+        /// Required length (edge or node count).
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// A parameter outside its documented domain (catch-all with a
+    /// human-readable constraint).
+    OutOfDomain {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value, formatted.
+        value: String,
+        /// The constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidProbability { name, value } => {
+                write!(f, "{name} = {value} is not a probability in [0, 1]")
+            }
+            ModelError::ProbabilitySumExceedsOne { p_nbr, p_ext } => write!(
+                f,
+                "p_nbr + p_ext = {} exceeds 1 (p_nbr = {p_nbr}, p_ext = {p_ext})",
+                p_nbr + p_ext
+            ),
+            ModelError::CountExceedsPopulation {
+                what,
+                count,
+                population,
+            } => write!(f, "{what} count {count} exceeds population {population}"),
+            ModelError::LengthMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} has length {got}, expected {expected}"),
+            ModelError::OutOfDomain {
+                name,
+                value,
+                constraint,
+            } => write!(f, "{name} = {value} violates: {constraint}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Validates that `value` is a probability in `[0, 1]`.
+pub(crate) fn probability(name: &'static str, value: f64) -> Result<f64, ModelError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ModelError::InvalidProbability { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidProbability {
+            name: "p_nbr",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("p_nbr"));
+        let e = ModelError::CountExceedsPopulation {
+            what: "initial adopter",
+            count: 10,
+            population: 5,
+        };
+        assert!(e.to_string().contains("exceeds population 5"));
+    }
+
+    #[test]
+    fn probability_guard() {
+        assert!(probability("p", 0.0).is_ok());
+        assert!(probability("p", 1.0).is_ok());
+        assert!(probability("p", -0.1).is_err());
+        assert!(probability("p", f64::NAN).is_err());
+    }
+}

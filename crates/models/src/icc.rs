@@ -29,6 +29,7 @@
 
 use snd_graph::CsrGraph;
 
+use crate::error::ModelError;
 use crate::state::{NetworkState, Opinion};
 
 /// Per-edge activation probabilities.
@@ -65,6 +66,50 @@ impl Default for IccParams {
 }
 
 impl IccParams {
+    /// Validating constructor: checks every probability-like parameter and
+    /// per-edge vector length against `g` so a malformed configuration
+    /// surfaces as a [`ModelError`] instead of a mid-simulation panic.
+    pub fn for_graph(
+        g: &CsrGraph,
+        activation: EdgeActivation,
+        distances: Option<Vec<u32>>,
+        epsilon: f64,
+    ) -> Result<Self, ModelError> {
+        crate::error::probability("epsilon", epsilon)?;
+        match &activation {
+            EdgeActivation::Uniform(p) => {
+                crate::error::probability("activation probability", *p)?;
+            }
+            EdgeActivation::PerEdge(p) => {
+                if p.len() != g.edge_count() {
+                    return Err(ModelError::LengthMismatch {
+                        what: "per-edge activation probabilities",
+                        expected: g.edge_count(),
+                        got: p.len(),
+                    });
+                }
+                for &pi in p {
+                    crate::error::probability("activation probability", pi)?;
+                }
+            }
+            EdgeActivation::WeightedCascade => {}
+        }
+        if let Some(d) = &distances {
+            if d.len() != g.edge_count() {
+                return Err(ModelError::LengthMismatch {
+                    what: "per-edge distances",
+                    expected: g.edge_count(),
+                    got: d.len(),
+                });
+            }
+        }
+        Ok(IccParams {
+            activation,
+            distances,
+            epsilon,
+        })
+    }
+
     /// Activation probability of edge `e = (u, v)`.
     pub fn activation_of(&self, g: &CsrGraph, e: u32, v: u32) -> f64 {
         match &self.activation {

@@ -17,19 +17,47 @@
 //!   spreading models of §3: model-agnostic constants, Independent Cascade
 //!   with Competition (Carnes et al.), and Linear Threshold with Competition
 //!   (Borodin et al.);
-//! * [`dynamics`] — forward simulators (probabilistic-voting activation,
-//!   ICC and LTC cascades, random activation) used to generate synthetic
-//!   network-state series for the evaluation.
+//! * [`process`] — **the unified opinion-dynamics engine**: the
+//!   [`OpinionDynamics`] trait (an object-safe, introspectable transition
+//!   kernel) and its implementations — the four processes ported from the
+//!   pre-trait free functions ([`Voting`](process::Voting),
+//!   [`IndependentCascade`](process::IndependentCascade),
+//!   [`LinearThreshold`](process::LinearThreshold),
+//!   [`RandomActivation`](process::RandomActivation); bit-identical per
+//!   seed, regression-tested) plus polar-opinion models from the wider
+//!   literature: Galam-style [`MajorityRule`](process::MajorityRule), the
+//!   voter model with curmudgeons
+//!   ([`StubbornVoter`](process::StubbornVoter)), thresholded
+//!   DeGroot/Friedkin–Johnsen averaging projected onto the polar scale
+//!   ([`ThresholdedDeGroot`](process::ThresholdedDeGroot)), and
+//!   Hegselmann–Krause-style bounded confidence
+//!   ([`BoundedConfidence`](process::BoundedConfidence)). Adding a model
+//!   is a ~50-line trait impl; the scenario registry in `snd-data` and the
+//!   `snd simulate` CLI pick it up from there.
+//! * [`dynamics`] — the underlying free-function simulators (kept as the
+//!   regression reference for the ported models and for callers that want
+//!   a bare step function);
+//! * [`ModelError`] — structured parameter-validation errors returned by
+//!   every constructor (no `assert!` panics on bad user input).
+//!
+//! Every [`OpinionDynamics`] implementation is **deterministic per seed**:
+//! a step is a pure function of `(graph, state, rng stream)`, so a fixed
+//! seed reproduces a series bit-for-bit across runs and build profiles
+//! (`tests/dynamics.rs` pins fingerprints).
 
 pub mod agnostic;
 pub mod dynamics;
+pub mod error;
 pub mod ground;
 pub mod icc;
 pub mod ltc;
+pub mod process;
 pub mod state;
 
 pub use agnostic::AgnosticPenalties;
+pub use error::ModelError;
 pub use ground::{edge_costs, prob_to_cost, GroundCostConfig, SpreadingModel};
 pub use icc::IccParams;
 pub use ltc::LtcParams;
+pub use process::{simulate_series, OpinionDynamics};
 pub use state::{NetworkState, Opinion};

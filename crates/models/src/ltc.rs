@@ -17,6 +17,7 @@
 
 use snd_graph::CsrGraph;
 
+use crate::error::ModelError;
 use crate::state::{NetworkState, Opinion};
 
 /// Per-edge influence weights.
@@ -53,6 +54,65 @@ impl Default for LtcParams {
 }
 
 impl LtcParams {
+    /// Validating constructor: checks weight/threshold shapes and domains
+    /// against `g` so a malformed configuration surfaces as a
+    /// [`ModelError`] instead of a mid-simulation panic.
+    pub fn for_graph(
+        g: &CsrGraph,
+        weights: EdgeWeights,
+        thresholds: Option<Vec<f64>>,
+        epsilon: f64,
+    ) -> Result<Self, ModelError> {
+        crate::error::probability("epsilon", epsilon)?;
+        match &weights {
+            EdgeWeights::Uniform(w) if !(w.is_finite() && *w >= 0.0) => {
+                return Err(ModelError::OutOfDomain {
+                    name: "edge weight",
+                    value: format!("{w}"),
+                    constraint: "must be finite and non-negative",
+                });
+            }
+            EdgeWeights::PerEdge(w) => {
+                if w.len() != g.edge_count() {
+                    return Err(ModelError::LengthMismatch {
+                        what: "per-edge weights",
+                        expected: g.edge_count(),
+                        got: w.len(),
+                    });
+                }
+                if let Some(bad) = w.iter().find(|x| !(x.is_finite() && **x >= 0.0)) {
+                    return Err(ModelError::OutOfDomain {
+                        name: "edge weight",
+                        value: format!("{bad}"),
+                        constraint: "must be finite and non-negative",
+                    });
+                }
+            }
+            _ => {}
+        }
+        if let Some(t) = &thresholds {
+            if t.len() != g.node_count() {
+                return Err(ModelError::LengthMismatch {
+                    what: "per-node thresholds",
+                    expected: g.node_count(),
+                    got: t.len(),
+                });
+            }
+            if let Some(bad) = t.iter().find(|x| !x.is_finite()) {
+                return Err(ModelError::OutOfDomain {
+                    name: "threshold",
+                    value: format!("{bad}"),
+                    constraint: "must be finite",
+                });
+            }
+        }
+        Ok(LtcParams {
+            weights,
+            thresholds,
+            epsilon,
+        })
+    }
+
     /// Weight of edge `e = (u, v)`.
     pub fn weight_of(&self, g: &CsrGraph, e: u32, v: u32) -> f64 {
         match &self.weights {

@@ -1,38 +1,33 @@
-//! Anomaly detection on a synthetic network-state series (the §6.2
-//! workflow at example scale).
+//! Anomaly detection on a simulated network-state series (the §6.2
+//! workflow at example scale), driven by the scenario registry.
 //!
-//! Generates a series whose anomalous steps change only the activation
-//! *mechanism* (neighbor-driven vs external), runs four distance measures
-//! over adjacent states, and reports which transitions each measure flags.
+//! Runs the `voting-mech-shift` scenario — probabilistic voting whose
+//! anomalous steps change only the activation *mechanism* (neighbor-driven
+//! vs external) — then scores adjacent transitions with four distance
+//! measures and reports which transitions each one flags.
 //!
 //! Run with `cargo run --release --example anomaly_detection`.
 
 use snd::analysis::series::processed_series;
-use snd::analysis::{anomaly_scores, top_k_anomalies};
+use snd::analysis::{anomaly_scores, evaluate_detection};
 use snd::baselines::{Hamming, QuadForm, StateDistance, WalkDist};
 use snd::core::{SndConfig, SndEngine};
-use snd::data::{generate_series, SyntheticSeriesConfig};
-use snd::models::dynamics::VotingConfig;
+use snd::data::find_scenario;
 
 fn main() {
-    let config = SyntheticSeriesConfig {
-        nodes: 5000,
-        exponent: -2.3,
-        initial_adopters: 100,
-        steps: 24,
-        normal: VotingConfig::new(0.12, 0.01),
-        anomalous: VotingConfig::new(0.08, 0.05),
-        anomalous_steps: vec![8, 16],
-        chance_fraction: 1.0,
-        burn_in: 0,
-        seed: 11,
-    };
-    let series = generate_series(&config);
+    let mut scenario = find_scenario("voting-mech-shift").expect("registered scenario");
+    scenario.nodes = 5000;
+    scenario.steps = 24;
+    let series = scenario.run(11).expect("registry parameters are valid");
+    let planted: Vec<usize> = (0..series.labels.len())
+        .filter(|&t| series.labels[t])
+        .collect();
     println!(
-        "series: {} states over {} users; planted anomalies at transitions {:?}",
+        "scenario '{}': {} states over {} users; planted anomalies at transitions {:?}",
+        scenario.name,
         series.states.len(),
-        config.nodes,
-        config.anomalous_steps
+        series.graph.node_count(),
+        planted
     );
 
     let engine = SndEngine::new(&series.graph, SndConfig::default());
@@ -72,13 +67,16 @@ fn main() {
         );
     }
 
-    let k = config.anomalous_steps.len();
+    let k = planted.len();
     println!("\ntop-{k} flagged transitions per measure:");
     for (name, processed) in &measures {
         let scores = anomaly_scores(processed);
-        let top = top_k_anomalies(&scores, k);
-        let hits = top.iter().filter(|&&t| series.labels[t]).count();
-        println!("  {name:<10} flags {top:?}  ({hits}/{k} correct)");
+        let report = evaluate_detection(&scores, &series.labels, k);
+        let auc = report.auc.map_or("n/a".to_string(), |a| format!("{a:.2}"));
+        println!(
+            "  {name:<10} flags {:?}  ({}/{k} correct, AUC {auc})",
+            report.flagged, report.hits
+        );
     }
 }
 

@@ -3,6 +3,10 @@
 //! ICC-driven transitions from random-activation transitions with the same
 //! number of changed users, while ℓ1 cannot.
 //!
+//! Both transition kinds step through the same [`OpinionDynamics`]
+//! interface — the normal mechanism and the anomalous one are just two
+//! models, which is exactly how the scenario registry injects anomalies.
+//!
 //! Run with `cargo run --release --example model_sensitivity`.
 
 use rand::rngs::SmallRng;
@@ -10,29 +14,35 @@ use rand::SeedableRng;
 use snd::baselines::{StateDistance, L1};
 use snd::core::{SndConfig, SndEngine};
 use snd::graph::generators::barabasi_albert;
-use snd::models::dynamics::{icc_step, random_activation_step, seed_initial_adopters};
-use snd::models::{GroundCostConfig, IccParams, SpreadingModel};
+use snd::models::dynamics::seed_initial_adopters;
+use snd::models::process::{IndependentCascade, RandomActivation};
+use snd::models::{GroundCostConfig, OpinionDynamics, SpreadingModel};
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(99);
     let graph = barabasi_albert(1200, 4, &mut rng);
-    let params = IccParams::default();
+    let icc = IndependentCascade::default();
 
     // Ground distance follows the ICC model itself.
     let config = SndConfig::with_ground(GroundCostConfig::with_model(SpreadingModel::Icc(
-        params.clone(),
+        icc.params.clone(),
     )));
     let engine = SndEngine::new(&graph, config);
 
     println!("{:>6} {:>10} {:>8}   kind", "n_delta", "SND", "l1");
     for trial in 0..6 {
-        let start = seed_initial_adopters(1200, 80 + 20 * trial, &mut rng);
+        let start = seed_initial_adopters(1200, 80 + 20 * trial, &mut rng)
+            .expect("seed count within population");
         // Normal transition: one ICC round.
-        let normal = icc_step(&graph, &start, &params, &mut rng);
+        let mut normal = start.clone();
+        icc.step(&graph, &mut normal, &mut rng);
         report(&engine, &start, &normal, "ICC (normal)");
         // Anomalous transition: same activation volume, random placement.
-        let n_delta = start.diff_count(&normal);
-        let anomalous = random_activation_step(&graph, &start, n_delta, &mut rng);
+        let anomalous_model = RandomActivation {
+            count: start.diff_count(&normal),
+        };
+        let mut anomalous = start.clone();
+        anomalous_model.step(&graph, &mut anomalous, &mut rng);
         report(&engine, &start, &anomalous, "random (anomalous)");
     }
     println!("\nSND under the ICC ground distance separates the two transition kinds;");

@@ -22,8 +22,8 @@ fn main() {
         exponent: -2.5,
         initial_adopters: 120,
         steps: 5,
-        normal: VotingConfig::new(0.10, 0.02),
-        anomalous: VotingConfig::new(0.10, 0.02),
+        normal: VotingConfig::new(0.10, 0.02).expect("valid voting parameters"),
+        anomalous: VotingConfig::new(0.10, 0.02).expect("valid voting parameters"),
         anomalous_steps: vec![],
         chance_fraction: 0.12,
         burn_in: 4,

@@ -18,8 +18,8 @@ fn main() {
         exponent: -2.3,
         initial_adopters: 24,
         steps: 5,
-        normal: VotingConfig::new(0.12, 0.01),
-        anomalous: VotingConfig::new(0.12, 0.01),
+        normal: VotingConfig::new(0.12, 0.01).expect("valid voting parameters"),
+        anomalous: VotingConfig::new(0.12, 0.01).expect("valid voting parameters"),
         anomalous_steps: vec![],
         chance_fraction: 1.0,
         burn_in: 0,

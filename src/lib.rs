@@ -34,6 +34,32 @@
 //! assert!(d > 0.0);
 //! ```
 //!
+//! ## Simulating opinion dynamics
+//!
+//! Evaluation series come from forward simulation, and every simulator is
+//! an implementation of
+//! [`OpinionDynamics`](models::OpinionDynamics) — the paper's
+//! probabilistic voting, the ICC/LTC cascades and random activation, plus
+//! majority rule, stubborn voters, thresholded DeGroot/Friedkin–Johnsen
+//! and bounded confidence from the wider literature (all in
+//! [`models::process`]). The scenario registry
+//! ([`data::scenario`]) composes a graph generator, a seeding, a model,
+//! and an anomaly-injection schedule into named reproducible specs:
+//!
+//! ```
+//! use snd::data::find_scenario;
+//!
+//! let mut scenario = find_scenario("bounded-confidence").expect("registered");
+//! scenario.nodes = 300;
+//! scenario.steps = 6;
+//! let series = scenario.run(42).expect("valid registry parameters");
+//! assert_eq!(series.states.len(), 7);
+//! assert_eq!(series.labels.len(), 6); // anomaly ground truth
+//! ```
+//!
+//! The same registry backs `snd simulate --scenario NAME --out data.json`,
+//! whose output feeds every other `snd` subcommand.
+//!
 //! ## Batch evaluation
 //!
 //! The evaluation workloads that dominate in practice are *all-pairs*

@@ -1,0 +1,165 @@
+//! Fixed-seed determinism of every [`OpinionDynamics`] implementation.
+//!
+//! Three layers of guarantees:
+//!
+//! 1. **Run-to-run**: the same seed produces bit-identical series within a
+//!    process (every model, via [`simulate_series`]).
+//! 2. **Profile-to-profile**: series fingerprints are pinned as constants,
+//!    so a debug `cargo test` and a `--release` run (CI does both) must
+//!    produce the *same* bits — catching any accidental dependence on
+//!    floating-point contraction, HashMap iteration, or build flags.
+//! 3. **Port regression**: the trait-based ports consume the RNG stream
+//!    exactly like the pre-trait free functions (unit-tested per model in
+//!    `snd-models`; re-checked here through the public facade).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use snd::data::{find_scenario, registry};
+use snd::graph::generators::barabasi_albert;
+use snd::graph::CsrGraph;
+use snd::models::dynamics::{seed_initial_adopters, voting_step, VotingConfig};
+use snd::models::process::{
+    BoundedConfidence, IndependentCascade, LinearThreshold, MajorityRule, RandomActivation,
+    StubbornVoter, ThresholdedDeGroot, Voting,
+};
+use snd::models::{simulate_series, NetworkState, OpinionDynamics};
+
+/// FNV-1a over the ±1/0 encoding of a whole series: any single opinion
+/// flip anywhere changes the fingerprint.
+fn fingerprint(series: &[NetworkState]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for state in series {
+        for v in state.values() {
+            h ^= v as u8 as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// The shared test fixture: a 400-node BA graph with 60 seeded adopters.
+fn fixture() -> (CsrGraph, NetworkState) {
+    let mut rng = SmallRng::seed_from_u64(2017);
+    let g = barabasi_albert(400, 3, &mut rng);
+    let s0 = seed_initial_adopters(400, 60, &mut rng).expect("60 of 400");
+    (g, s0)
+}
+
+/// Every model at fixed parameters, with its pinned series fingerprint
+/// (8 steps from the fixture, step RNG seeded with 5).
+fn models_with_fingerprints() -> Vec<(Box<dyn OpinionDynamics>, u64)> {
+    vec![
+        (
+            Box::new(Voting::new(0.2, 0.05).expect("valid")),
+            0x8af84c0bf1e873a0,
+        ),
+        (
+            Box::new(Voting::sampled(
+                VotingConfig::new(0.3, 0.1).expect("valid"),
+                80,
+            )),
+            0xbc5efd868d4d9b4f,
+        ),
+        (Box::new(IndependentCascade::default()), 0xa65eed5e3f93d290),
+        (Box::new(LinearThreshold::default()), 0x8e8e9b78808b7ce1),
+        (Box::new(RandomActivation { count: 15 }), 0x7817e113fadd3309),
+        (
+            Box::new(MajorityRule::new(0.5).expect("valid")),
+            0xe7cb792fbcd8c296,
+        ),
+        (
+            Box::new(StubbornVoter::new(0.4, 0.15, 99).expect("valid")),
+            0x38aca52fece6645c,
+        ),
+        (
+            Box::new(ThresholdedDeGroot::new(0.6, 0.3).expect("valid")),
+            0x56057a2d4fc5e246,
+        ),
+        (
+            Box::new(BoundedConfidence::new(1, 0.5, 0.3).expect("valid")),
+            0x701012fc1be2b3c2,
+        ),
+    ]
+}
+
+#[test]
+#[ignore = "regeneration helper: run with --ignored --nocapture to re-pin fingerprints"]
+fn print_fingerprints_helper() {
+    let (g, s0) = fixture();
+    for (model, _) in models_with_fingerprints() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let series = simulate_series(&g, model.as_ref(), s0.clone(), 8, &mut rng);
+        println!("(\"{}\", {:#018x}),", model.name(), fingerprint(&series));
+    }
+}
+
+#[test]
+fn every_model_is_deterministic_per_seed() {
+    let (g, s0) = fixture();
+    for (model, _) in models_with_fingerprints() {
+        let mut rng_a = SmallRng::seed_from_u64(5);
+        let mut rng_b = SmallRng::seed_from_u64(5);
+        let a = simulate_series(&g, model.as_ref(), s0.clone(), 8, &mut rng_a);
+        let b = simulate_series(&g, model.as_ref(), s0.clone(), 8, &mut rng_b);
+        assert_eq!(a, b, "{} differs across identical-seed runs", model.name());
+    }
+}
+
+#[test]
+fn series_fingerprints_match_pinned_constants() {
+    let (g, s0) = fixture();
+    for (model, expected) in models_with_fingerprints() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let series = simulate_series(&g, model.as_ref(), s0.clone(), 8, &mut rng);
+        assert_eq!(
+            fingerprint(&series),
+            expected,
+            "{} fingerprint drifted (run-to-run or profile-to-profile)",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn ported_voting_reproduces_free_function_through_facade() {
+    let (g, s0) = fixture();
+    let config = VotingConfig::new(0.2, 0.05).expect("valid");
+    let model = Voting {
+        config,
+        chances: None,
+    };
+    let mut rng_trait = SmallRng::seed_from_u64(41);
+    let mut rng_free = SmallRng::seed_from_u64(41);
+    let series = simulate_series(&g, &model, s0.clone(), 6, &mut rng_trait);
+    let mut free = s0;
+    for (t, trait_state) in series.iter().enumerate().skip(1) {
+        free = voting_step(&g, &free, &config, &mut rng_free);
+        assert_eq!(*trait_state, free, "divergence at step {t}");
+    }
+}
+
+#[test]
+fn registry_scenarios_are_deterministic_through_facade() {
+    for mut sc in registry() {
+        sc.nodes = 200;
+        sc.steps = 5;
+        let a = sc.run(9).expect("registry parameters are valid");
+        let b = sc.run(9).expect("registry parameters are valid");
+        assert_eq!(
+            fingerprint(&a.states),
+            fingerprint(&b.states),
+            "{} not reproducible",
+            sc.name
+        );
+    }
+}
+
+#[test]
+fn scenario_rescaling_respects_overrides() {
+    let mut sc = find_scenario("stubborn-voter").expect("registered");
+    sc.nodes = 150;
+    sc.steps = 4;
+    let series = sc.run(2).expect("valid");
+    assert_eq!(series.states.len(), 5);
+    assert_eq!(series.graph.node_count(), 150);
+}

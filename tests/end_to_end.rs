@@ -19,8 +19,8 @@ fn anomaly_series() -> snd::data::SyntheticSeries {
         exponent: -2.3,
         initial_adopters: 30,
         steps: 16,
-        normal: VotingConfig::new(0.12, 0.01),
-        anomalous: VotingConfig::new(0.08, 0.05),
+        normal: VotingConfig::new(0.12, 0.01).expect("valid voting parameters"),
+        anomalous: VotingConfig::new(0.08, 0.05).expect("valid voting parameters"),
         anomalous_steps: vec![6, 11],
         chance_fraction: 1.0,
         burn_in: 0,
@@ -90,8 +90,8 @@ fn prediction_pipeline_beats_coin_flipping() {
         exponent: -2.5,
         initial_adopters: 75,
         steps: 5,
-        normal: VotingConfig::new(0.10, 0.02),
-        anomalous: VotingConfig::new(0.10, 0.02),
+        normal: VotingConfig::new(0.10, 0.02).expect("valid voting parameters"),
+        anomalous: VotingConfig::new(0.10, 0.02).expect("valid voting parameters"),
         anomalous_steps: vec![],
         chance_fraction: 0.10,
         burn_in: 4,

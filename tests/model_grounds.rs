@@ -51,7 +51,8 @@ fn ltc_ground_separates_threshold_driven_from_random_transitions() {
     let mut seps = 0;
     let trials = 4;
     for t in 0..trials {
-        let start = seed_initial_adopters(600, 60 + 10 * t, &mut rng);
+        let start = seed_initial_adopters(600, 60 + 10 * t, &mut rng)
+            .expect("seed count within population");
         let normal = lt_step(&g, &start, &params, &mut rng);
         let nd = start.diff_count(&normal);
         if nd == 0 {
@@ -77,7 +78,7 @@ fn icc_ground_distance_is_model_specific() {
     // ground models — SND is explicitly model-parametric.
     let mut rng = SmallRng::seed_from_u64(9);
     let g = barabasi_albert(300, 3, &mut rng);
-    let a = seed_initial_adopters(300, 30, &mut rng);
+    let a = seed_initial_adopters(300, 30, &mut rng).expect("seed count within population");
     let b = random_activation_step(&g, &a, 25, &mut rng);
     let d_agnostic =
         engine_for(&g, SpreadingModel::Agnostic(AgnosticPenalties::default())).distance(&a, &b);
@@ -94,7 +95,7 @@ fn icc_ground_distance_is_model_specific() {
 fn quantization_bound_is_respected_for_every_model() {
     let mut rng = SmallRng::seed_from_u64(11);
     let g = barabasi_albert(200, 3, &mut rng);
-    let state = seed_initial_adopters(200, 20, &mut rng);
+    let state = seed_initial_adopters(200, 20, &mut rng).expect("seed count within population");
     for model in [
         SpreadingModel::Agnostic(AgnosticPenalties::default()),
         SpreadingModel::Icc(IccParams::default()),
