@@ -49,9 +49,11 @@ pub fn current_num_threads() -> usize {
 
 /// Runs both closures, potentially in parallel, and returns both results.
 ///
-/// `join` is used for coarse two-way splits (whole EMD\* terms), where a
-/// scoped thread per call is noise; only indexed fan-out goes through the
-/// pool.
+/// Like the indexed fan-out, `join` goes through the shared [`WorkerPool`]
+/// (a two-item task; each `FnOnce` is claimed exactly once): the caller
+/// participates, a free pool worker picks up the other side, and no thread
+/// is spawned per call. Panics in either closure are resumed on the
+/// calling thread with their original payload, as in real rayon.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -62,11 +64,27 @@ where
     if current_num_threads() <= 1 {
         return (a(), b());
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon::join closure panicked"))
-    })
+    let a = Mutex::new(Some(a));
+    let b = Mutex::new(Some(b));
+    let ra: Mutex<Option<RA>> = Mutex::new(None);
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    global_pool().run(2, |i| {
+        // Each index is claimed exactly once (see `Task::work`), so the
+        // take() always finds the closure.
+        if i == 0 {
+            let f = a.lock().expect("join slot poisoned").take();
+            *ra.lock().expect("join result poisoned") = Some(f.expect("item 0 claimed once")());
+        } else {
+            let f = b.lock().expect("join slot poisoned").take();
+            *rb.lock().expect("join result poisoned") = Some(f.expect("item 1 claimed once")());
+        }
+    });
+    let ra = ra.into_inner().expect("join result poisoned");
+    let rb = rb.into_inner().expect("join result poisoned");
+    (
+        ra.expect("join ran item 0 to completion"),
+        rb.expect("join ran item 1 to completion"),
+    )
 }
 
 /// One submitted parallel call: a lifetime-erased item closure plus the
@@ -436,6 +454,50 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_uses_resident_pool_threads_not_fresh_spawns() {
+        if current_num_threads() < 2 {
+            return; // single-core runner: join degenerates to sequential
+        }
+        let caller = std::thread::current().id();
+        // With a scoped thread per call, 64 joins could touch 64 distinct
+        // worker ids; through the pool, non-caller ids stay within the
+        // resident worker set.
+        let mut seen: HashSet<ThreadId> = HashSet::new();
+        for _ in 0..64 {
+            let (_, id) = join(
+                || std::thread::sleep(Duration::from_micros(200)),
+                || std::thread::current().id(),
+            );
+            if id != caller {
+                seen.insert(id);
+            }
+        }
+        assert!(
+            seen.len() <= current_num_threads(),
+            "join leaked {} worker threads",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn join_nests_without_deadlock() {
+        let (a, sum) = join(|| join(|| 1, || 2), || join(|| 3, || 4).0 + 10);
+        assert_eq!((a, sum), ((1, 2), 13));
+    }
+
+    #[test]
+    fn join_propagates_panics_with_payload() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            join(|| 1, || -> i32 { panic!("join boom") })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "join boom");
+        // join still works after a panicked call.
+        assert_eq!(join(|| 1, || 2), (1, 2));
     }
 
     #[test]
