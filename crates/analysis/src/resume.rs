@@ -29,7 +29,12 @@ pub fn pairwise_distances_checkpointed(
 
 /// Adjacent-transition distances `d(G_t, G_{t+1})` with checkpoint/resume:
 /// computes only the tiles covering the superdiagonal, so a series run
-/// prices `O(k·tile)` pairs instead of the full matrix. A later
+/// prices `O(k·tile)` pairs instead of the full matrix — and computes
+/// them through the **delta path** (`snd_core::delta`): each state's
+/// geometry bundle is advanced from the previous one via touched-edge
+/// cost rederivation and SSSP row repair instead of rebuilt from scratch.
+/// The checkpoint format and values are bit-identical to the batch tile
+/// path, so old checkpoints resume here, and a later
 /// `pairwise_distances_checkpointed` call over the same checkpoint reuses
 /// these tiles. Bit-identical to `SndEngine::series_distances`.
 pub fn series_distances_checkpointed(
@@ -41,9 +46,7 @@ pub fn series_distances_checkpointed(
     if states.len() < 2 {
         return Ok(Vec::new());
     }
-    let grid = TileGrid::new(states.len(), tile);
-    let run =
-        engine.pairwise_tiles_checkpointed(states, &ShardPlan::superdiagonal(grid), checkpoint)?;
+    let run = engine.series_tiles_checkpointed(states, tile, checkpoint)?;
     Ok((1..states.len())
         .map(|t| {
             run.tiles

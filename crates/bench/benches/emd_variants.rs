@@ -1,11 +1,15 @@
 //! Micro-benchmark: the EMD family on random histograms over a line
 //! metric — classic, ÊMD, EMDα, and EMD\* (the latter also serving as the
-//! bank-allocation ablation: 1 vs 4 vs 16 clusters).
+//! bank-allocation ablation: 1 vs 4 vs 16 clusters), plus the
+//! net-mass-reduced EMD\* on the nearly-identical-histogram regime it
+//! targets (consecutive snapshots: a handful of bins moved).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use snd_emd::{emd, emd_alpha, emd_hat, emd_star, DenseCost, Histogram, Solver, StarGeometry};
+use snd_emd::{
+    emd, emd_alpha, emd_hat, emd_star, emd_star_reduced, DenseCost, Histogram, Solver, StarGeometry,
+};
 
 fn line_metric(n: usize) -> DenseCost {
     let mut d = DenseCost::filled(n, n, 0);
@@ -61,6 +65,32 @@ fn bench_variants(c: &mut Criterion) {
             b.iter(|| emd_star(&p, &q, &d, &geom, Solver::Simplex))
         });
     }
+
+    // The delta regime: q_near differs from p in a handful of bins. The
+    // reduced instance cancels the matched mass (exact — per-bin geometry
+    // keeps the extended ground triangle-satisfying) and solves
+    // O(churn)², vs the full (n + banks)² extended problem.
+    let mut moved = p.masses().to_vec();
+    moved[3] += 7;
+    moved[200] = moved[200].saturating_sub(4);
+    let q_near = Histogram::from_masses(moved, 1);
+    let per_bin = StarGeometry {
+        labels: (0..n as u32).collect(),
+        cluster_count: n,
+        gammas: vec![vec![gamma]; n],
+        inter_cluster: d.clone(),
+    };
+    group.bench_function("star_full_low_churn", |b| {
+        b.iter(|| emd_star(&p, &q_near, &d, &per_bin, Solver::Simplex))
+    });
+    group.bench_function("star_reduced_low_churn", |b| {
+        b.iter(|| emd_star_reduced(&p, &q_near, &d, &per_bin, Solver::Simplex))
+    });
+    assert_eq!(
+        emd_star(&p, &q_near, &d, &per_bin, Solver::Simplex),
+        emd_star_reduced(&p, &q_near, &d, &per_bin, Solver::Simplex),
+        "reduced instance must price identically"
+    );
     group.finish();
 }
 

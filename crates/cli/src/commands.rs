@@ -16,7 +16,7 @@ use snd_data::{
     SyntheticSeriesConfig, TwitterSimConfig,
 };
 use snd_models::dynamics::VotingConfig;
-use snd_models::{NetworkState, Opinion};
+use snd_models::{GroundCostConfig, NetworkState, Opinion};
 
 use crate::dataset::Dataset;
 
@@ -147,6 +147,52 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves a `--ground` argument into the matching ground-distance
+/// configuration, closing the "CLI always prices with the default ground
+/// config" gap: SND's edge costs are model-dependent (Eq. 2), so a series
+/// simulated under ICC or LTC should be priced under that model's
+/// spreading probabilities. Accepts the three ground models of §3
+/// (`agnostic` — the default, `icc`, `ltc`) and, as a convenience, any
+/// registry model family name (`snd simulate --list`), mapped to the
+/// nearest ground model: the cascade families to their own ground,
+/// everything else to the model-agnostic penalties.
+///
+/// The dataset JSON does not record simulation parameters, so each model
+/// is instantiated with its *default* parameters (weighted-cascade /
+/// degree-normalized edges, 0.5 thresholds) — the right model *family*,
+/// not necessarily the exact parameters a custom scenario used.
+/// Recording model parameters in the dataset format is an open ROADMAP
+/// item.
+fn ground_config_for(name: &str, graph: &snd_graph::CsrGraph) -> Result<GroundCostConfig, String> {
+    use snd_models::{icc::EdgeActivation, ltc::EdgeWeights, IccParams, LtcParams, SpreadingModel};
+    match name {
+        "agnostic" | "default" | "voting" | "voting-sampled" | "random-activation"
+        | "majority-rule" | "stubborn-voter" | "degroot-threshold" | "bounded-confidence" => {
+            Ok(GroundCostConfig::default())
+        }
+        "icc" => Ok(GroundCostConfig::with_model(SpreadingModel::Icc(
+            IccParams::for_graph(graph, EdgeActivation::WeightedCascade, None, 1e-6)
+                .map_err(|e| e.to_string())?,
+        ))),
+        "ltc" => Ok(GroundCostConfig::with_model(SpreadingModel::Ltc(
+            LtcParams::for_graph(graph, EdgeWeights::DegreeNormalized, None, 1e-6)
+                .map_err(|e| e.to_string())?,
+        ))),
+        other => Err(format!(
+            "unknown ground model '{other}' (want agnostic, icc, ltc, or a model family \
+             from `snd simulate --list`)"
+        )),
+    }
+}
+
+/// The engine config for a dataset run, honoring an optional `--ground`.
+fn engine_config(args: &[String], graph: &snd_graph::CsrGraph) -> Result<SndConfig, String> {
+    match opt::<String>(args, "--ground") {
+        Some(name) => Ok(SndConfig::with_ground(ground_config_for(&name, graph)?)),
+        None => Ok(SndConfig::default()),
+    }
+}
+
 /// `snd distance`: all measures between two states of a dataset.
 pub fn distance(args: &[String]) -> Result<(), String> {
     let path: String = opt(args, "--data").ok_or("missing --data FILE")?;
@@ -158,7 +204,7 @@ pub fn distance(args: &[String]) -> Result<(), String> {
     let a = states.get(t1).ok_or(format!("state {t1} out of range"))?;
     let b = states.get(t2).ok_or(format!("state {t2} out of range"))?;
 
-    let engine = SndEngine::new(&graph, SndConfig::default());
+    let engine = SndEngine::new(&graph, engine_config(args, &graph)?);
     println!("n_delta = {}", a.diff_count(b));
     println!("SND        = {:.4}", engine.distance(a, b));
     println!("hamming    = {:.4}", Hamming.distance(a, b));
@@ -176,7 +222,10 @@ pub fn anomaly(args: &[String]) -> Result<(), String> {
     if states.len() < 3 {
         return Err("need at least 3 states".into());
     }
-    let engine = SndEngine::new(&graph, SndConfig::default());
+    // The series below runs through the engine's delta-aware path:
+    // consecutive snapshots are priced incrementally (touched-edge costs,
+    // repaired geometry, zero-cost identical transitions).
+    let engine = SndEngine::new(&graph, engine_config(args, &graph)?);
     let processed = processed_series(&engine.series_distances(&states), &states);
     let scores = anomaly_scores(&processed);
     let k =

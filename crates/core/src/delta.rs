@@ -1,0 +1,731 @@
+//! Delta-aware series evaluation: incremental geometry between
+//! consecutive snapshots.
+//!
+//! The series workloads (anomaly detection over `d(G_t, G_{t+1})`,
+//! prediction, the paper's Fig. 10–12) price *consecutive* snapshots of
+//! one evolving network. A simulation step flips a handful of opinions,
+//! yet the batch path rebuilds each state's full ground geometry — per
+//! opinion: an `O(m)` edge-cost sweep, plus (in cluster-bank mode) one
+//! multi-source SSSP per cluster and two eccentricity SSSPs per cluster —
+//! from scratch. This module exploits snapshot locality end to end:
+//!
+//! 1. **Edge costs** ([`snd_models::StateDelta`]): only the touched edges
+//!    (incident to flipped nodes, plus receiver-side aggregate spill for
+//!    activity flips) are re-derived, bit-identical to the full sweep.
+//! 2. **Cluster geometry** ([`DeltaStateGeometry`]): the per-cluster SSSP
+//!    rows (sources = the cluster's members — *static* across snapshots)
+//!    are kept alive and repaired with
+//!    [`snd_graph::repair_row`] instead of recomputed; a cluster whose
+//!    rows the repair reports unchanged reuses its previous inter-cluster
+//!    row and γ verbatim. Repaired geometry is bit-identical to
+//!    [`compute_geometry`](crate::banks::compute_geometry) because
+//!    shortest-path distances are unique.
+//! 3. **Transitions** ([`SeriesEvaluator`]): identical consecutive states
+//!    (empty delta) short-circuit to
+//!    [`SndBreakdown::default`](crate::SndBreakdown); otherwise the four
+//!    EMD\* terms are evaluated exactly as the batch path would, over the
+//!    incrementally-derived geometries. At most **two** geometry bundles
+//!    are live at any point (asserted by `tests/series_memory.rs`).
+//!
+//! # When the fast path falls back
+//!
+//! Repair is exact only in a *lossless* clamp domain (every true finite
+//! distance below the `u32` sentinel `U·n + 1`; violated only when that
+//! product overflows the sentinel cap) and pays off only when few edges
+//! changed. [`DeltaStateGeometry::step`] rebuilds from scratch — at
+//! batch-path cost plus an `O(n + Σdeg(flipped))` delta sweep — when:
+//!
+//! * more than [`REPAIR_EDGE_FRACTION`]⁻¹ of the edges were touched
+//!   (high-churn dynamics like random activation), or
+//! * the clamp domain is capped (`U·n + 1 > u32::MAX / 4`), or
+//! * the γ policy is `HalfExactDiameter` (its `O(|members|)` SSSPs per
+//!   cluster are not cached).
+//!
+//! Per-bin mode (the default [`ClusterSpec`](crate::ClusterSpec)) has no
+//! cluster SSSPs at all; its delta win is the touched-edge cost sweep and
+//! the empty-delta shortcut.
+//!
+//! Everything here is property-tested bit-identical to
+//! [`series_distances_seq`](crate::SndEngine::series_distances_seq)
+//! across every registry scenario (`tests/delta_series.rs`).
+
+use std::cell::RefCell;
+
+use rayon::prelude::*;
+use snd_graph::{
+    dial_reverse_scratch, dial_scratch, repair_row, CostChange, NodeId, RepairScratch, SsspScratch,
+    UNREACHABLE,
+};
+use snd_models::{edge_costs, update_edge_costs, NetworkState, Opinion, StateDelta};
+use snd_transport::DenseCost;
+
+use crate::banks::GroundGeometry;
+use crate::config::GammaPolicy;
+use crate::engine::{SndEngine, StateGeometry};
+use crate::sparse::{with_sssp_scratch, RowCache};
+
+/// Fallback knob: the repair path engages only when touched edges are at
+/// most `edge_count / REPAIR_EDGE_FRACTION` — beyond that the affected
+/// region rivals the graph and a fresh rebuild is cheaper.
+pub const REPAIR_EDGE_FRACTION: usize = 4;
+
+thread_local! {
+    static REPAIR_SCRATCH: RefCell<RepairScratch> = RefCell::new(RepairScratch::new());
+}
+
+/// The cached, repairable geometry of one `(state, opinion)` pair.
+struct OpGeometry {
+    geom: GroundGeometry,
+    /// Per-cluster clamped multi-source SSSP row (empty when rows are not
+    /// cached: per-bin mode, lossy clamp domain, `HalfExactDiameter`).
+    cluster_rows: Vec<Vec<u32>>,
+    /// Eccentricity-policy representative rows (forward / reverse), one
+    /// pair per cluster; empty unless the policy is `Eccentricity`.
+    ecc_fwd: Vec<Vec<u32>>,
+    ecc_rev: Vec<Vec<u32>>,
+}
+
+/// Clamps a raw scratch distance into the bounded domain.
+#[inline]
+fn clamp(d: u64, unreachable: u32) -> u32 {
+    if d == UNREACHABLE || d >= unreachable as u64 {
+        unreachable
+    } else {
+        d as u32
+    }
+}
+
+/// Collects the scratch's last run as a clamped row.
+fn clamped_row(scratch: &SsspScratch, n: usize, unreachable: u32) -> Vec<u32> {
+    scratch
+        .distances(n)
+        .map(|d| clamp(d, unreachable))
+        .collect()
+}
+
+/// Per-cluster minimum of a clamped row — the inter-cluster distance row.
+fn min_reduce(row: &[u32], labels: &[u32], nc: usize, unreachable: u32) -> Vec<u32> {
+    let mut mins = vec![unreachable; nc];
+    for (x, &d) in row.iter().enumerate() {
+        let c = labels[x] as usize;
+        if d < mins[c] {
+            mins[c] = d;
+        }
+    }
+    mins
+}
+
+/// Eccentricity of a clamped row over a member set.
+fn member_ecc(row: &[u32], members: &[NodeId]) -> u32 {
+    members.iter().map(|&m| row[m as usize]).max().unwrap_or(0)
+}
+
+impl OpGeometry {
+    /// True when the clamp domain is lossless — every real path cost fits
+    /// strictly below the sentinel, the precondition for row repair.
+    fn lossless(unreachable: u32, max_edge_cost: u32, n: usize) -> bool {
+        unreachable as u64 == (max_edge_cost as u64) * (n as u64) + 1
+    }
+
+    /// Whether this engine/policy combination caches (and repairs) rows.
+    fn caches_rows(engine: &SndEngine<'_>, unreachable: u32) -> bool {
+        !matches!(engine.config().clusters, crate::config::ClusterSpec::PerBin)
+            && !matches!(engine.config().gamma, GammaPolicy::HalfExactDiameter)
+            && Self::lossless(
+                unreachable,
+                engine.config().ground.max_edge_cost(),
+                engine.graph().node_count(),
+            )
+    }
+
+    /// Builds the geometry from scratch, retaining the SSSP rows for
+    /// later repair. Bit-identical to
+    /// [`compute_geometry`](crate::banks::compute_geometry).
+    fn fresh(engine: &SndEngine<'_>, state: &NetworkState, op: Opinion) -> OpGeometry {
+        let costs = edge_costs(engine.graph(), state, op, &engine.config().ground);
+        Self::from_costs(engine, op, costs)
+    }
+
+    /// Builds the geometry from already-derived edge costs.
+    fn from_costs(engine: &SndEngine<'_>, _op: Opinion, costs: Vec<u32>) -> OpGeometry {
+        let g = engine.graph();
+        let config = engine.config();
+        let clustering = engine.clustering();
+        let n = g.node_count();
+        let max_edge_cost = config.ground.max_edge_cost();
+        let unreachable = ((max_edge_cost as u64)
+            .saturating_mul(n as u64)
+            .saturating_add(1))
+        .min(u32::MAX as u64 / 4) as u32;
+
+        if matches!(config.clusters, crate::config::ClusterSpec::PerBin) {
+            assert!(
+                config.per_bin_gamma > 0,
+                "per-bin gamma must be positive (identity of indiscernibles)"
+            );
+            return OpGeometry {
+                geom: GroundGeometry {
+                    edge_costs: costs,
+                    max_edge_cost,
+                    unreachable,
+                    per_bin: true,
+                    gammas: Vec::new(),
+                    inter_cluster: DenseCost::filled(0, 0, 0),
+                },
+                cluster_rows: Vec::new(),
+                ecc_fwd: Vec::new(),
+                ecc_rev: Vec::new(),
+            };
+        }
+
+        let nc = clustering.cluster_count();
+        let keep_rows = Self::caches_rows(engine, unreachable);
+        let want_ecc = keep_rows && matches!(config.gamma, GammaPolicy::Eccentricity);
+
+        // One work item per cluster, mirroring `compute_geometry`'s
+        // fan-out; additionally retains the clamped rows when repairable.
+        struct ClusterOut {
+            row: Vec<u32>,
+            min_row: Vec<u32>,
+            base: u32,
+            ecc_fwd: Vec<u32>,
+            ecc_rev: Vec<u32>,
+        }
+        let per_cluster: Vec<ClusterOut> = (0..nc)
+            .into_par_iter()
+            .map(|c| {
+                with_sssp_scratch(|scratch| {
+                    let members = clustering.members(c as u32);
+                    dial_scratch(g, &costs, members, max_edge_cost, scratch);
+                    let row = clamped_row(scratch, n, unreachable);
+                    let min_row = min_reduce(&row, &clustering.labels, nc, unreachable);
+                    let (base, ecc_fwd, ecc_rev) = match config.gamma {
+                        GammaPolicy::Constant(v) => (v, Vec::new(), Vec::new()),
+                        GammaPolicy::Eccentricity => {
+                            let rep = members[0];
+                            dial_scratch(g, &costs, &[rep], max_edge_cost, scratch);
+                            let fwd = clamped_row(scratch, n, unreachable);
+                            dial_reverse_scratch(g, &costs, &[rep], max_edge_cost, scratch);
+                            let rev = clamped_row(scratch, n, unreachable);
+                            let base = member_ecc(&fwd, members).max(member_ecc(&rev, members));
+                            if want_ecc {
+                                (base, fwd, rev)
+                            } else {
+                                (base, Vec::new(), Vec::new())
+                            }
+                        }
+                        GammaPolicy::HalfExactDiameter => {
+                            let mut diam = 0u32;
+                            for &p in members {
+                                dial_scratch(g, &costs, &[p], max_edge_cost, scratch);
+                                for &q in members {
+                                    diam = diam.max(clamp(scratch.dist(q), unreachable));
+                                }
+                            }
+                            (
+                                ((diam as u64).div_ceil(2).min(unreachable as u64)) as u32,
+                                Vec::new(),
+                                Vec::new(),
+                            )
+                        }
+                    };
+                    ClusterOut {
+                        row: if keep_rows { row } else { Vec::new() },
+                        min_row,
+                        base,
+                        ecc_fwd,
+                        ecc_rev,
+                    }
+                })
+            })
+            .collect();
+
+        let nb = config.banks_per_cluster.max(1);
+        let mut inter = DenseCost::filled(nc, nc, unreachable);
+        let mut gammas = Vec::with_capacity(nc);
+        let mut cluster_rows = Vec::with_capacity(if keep_rows { nc } else { 0 });
+        let mut ecc_fwd = Vec::new();
+        let mut ecc_rev = Vec::new();
+        for (c, out) in per_cluster.into_iter().enumerate() {
+            for (c2, &d) in out.min_row.iter().enumerate() {
+                *inter.at_mut(c, c2) = d;
+            }
+            *inter.at_mut(c, c) = 0;
+            gammas.push(
+                (0..nb)
+                    .map(|b| out.base.saturating_mul(b as u32 + 1).min(unreachable))
+                    .collect(),
+            );
+            if keep_rows {
+                cluster_rows.push(out.row);
+            }
+            if want_ecc {
+                ecc_fwd.push(out.ecc_fwd);
+                ecc_rev.push(out.ecc_rev);
+            }
+        }
+
+        OpGeometry {
+            geom: GroundGeometry {
+                edge_costs: costs,
+                max_edge_cost,
+                unreachable,
+                per_bin: false,
+                gammas,
+                inter_cluster: inter,
+            },
+            cluster_rows,
+            ecc_fwd,
+            ecc_rev,
+        }
+    }
+
+    /// Advances to the next state by repairing the cached rows with the
+    /// actually-changed edge costs. Caller guarantees `changes` is exact
+    /// (see [`DeltaStateGeometry::step`]) and that rows are cached.
+    fn advanced(
+        &self,
+        engine: &SndEngine<'_>,
+        new_costs: Vec<u32>,
+        changes: &[CostChange],
+    ) -> OpGeometry {
+        let g = engine.graph();
+        let config = engine.config();
+        let clustering = engine.clustering();
+        let nc = clustering.cluster_count();
+        let nb = config.banks_per_cluster.max(1);
+        let unreachable = self.geom.unreachable;
+        debug_assert!(!self.geom.per_bin && self.cluster_rows.len() == nc);
+
+        struct ClusterOut {
+            row: Vec<u32>,
+            min_row: Option<Vec<u32>>, // None: unchanged, reuse previous
+            base: Option<u32>,
+            ecc_fwd: Vec<u32>,
+            ecc_rev: Vec<u32>,
+        }
+        let want_ecc = matches!(config.gamma, GammaPolicy::Eccentricity);
+        let per_cluster: Vec<ClusterOut> = (0..nc)
+            .into_par_iter()
+            .map(|c| {
+                REPAIR_SCRATCH.with(|cell| {
+                    let scratch = &mut cell.borrow_mut();
+                    let members = clustering.members(c as u32);
+                    let mut row = self.cluster_rows[c].clone();
+                    let moved = repair_row(
+                        g,
+                        &new_costs,
+                        changes,
+                        members,
+                        false,
+                        unreachable,
+                        &mut row,
+                        scratch,
+                    );
+                    let min_row =
+                        (moved > 0).then(|| min_reduce(&row, &clustering.labels, nc, unreachable));
+                    let (base, ecc_fwd, ecc_rev) = if want_ecc {
+                        let rep = members[0];
+                        let mut fwd = self.ecc_fwd[c].clone();
+                        let mut rev = self.ecc_rev[c].clone();
+                        let moved_f = repair_row(
+                            g,
+                            &new_costs,
+                            changes,
+                            &[rep],
+                            false,
+                            unreachable,
+                            &mut fwd,
+                            scratch,
+                        );
+                        let moved_r = repair_row(
+                            g,
+                            &new_costs,
+                            changes,
+                            &[rep],
+                            true,
+                            unreachable,
+                            &mut rev,
+                            scratch,
+                        );
+                        let base = (moved_f + moved_r > 0)
+                            .then(|| member_ecc(&fwd, members).max(member_ecc(&rev, members)));
+                        (base, fwd, rev)
+                    } else {
+                        // Constant policy: γ never moves.
+                        (None, Vec::new(), Vec::new())
+                    };
+                    ClusterOut {
+                        row,
+                        min_row,
+                        base,
+                        ecc_fwd,
+                        ecc_rev,
+                    }
+                })
+            })
+            .collect();
+
+        let mut inter = DenseCost::filled(nc, nc, unreachable);
+        let mut gammas = Vec::with_capacity(nc);
+        let mut cluster_rows = Vec::with_capacity(nc);
+        let mut ecc_fwd = Vec::new();
+        let mut ecc_rev = Vec::new();
+        for (c, out) in per_cluster.into_iter().enumerate() {
+            match out.min_row {
+                Some(mins) => {
+                    for (c2, &d) in mins.iter().enumerate() {
+                        *inter.at_mut(c, c2) = d;
+                    }
+                    *inter.at_mut(c, c) = 0;
+                }
+                None => {
+                    // Rows untouched by the repair: the previous state's
+                    // inter-cluster row is reused verbatim.
+                    for c2 in 0..nc {
+                        *inter.at_mut(c, c2) = self.geom.inter_cluster.at(c, c2);
+                    }
+                }
+            }
+            match out.base {
+                Some(base) => gammas.push(
+                    (0..nb)
+                        .map(|b| base.saturating_mul(b as u32 + 1).min(unreachable))
+                        .collect(),
+                ),
+                None => gammas.push(self.geom.gammas[c].clone()),
+            }
+            cluster_rows.push(out.row);
+            if want_ecc {
+                ecc_fwd.push(out.ecc_fwd);
+                ecc_rev.push(out.ecc_rev);
+            }
+        }
+
+        OpGeometry {
+            geom: GroundGeometry {
+                edge_costs: new_costs,
+                max_edge_cost: self.geom.max_edge_cost,
+                unreachable,
+                per_bin: false,
+                gammas,
+                inter_cluster: inter,
+            },
+            cluster_rows,
+            ecc_fwd,
+            ecc_rev,
+        }
+    }
+}
+
+/// The repairable geometry bundle of one state: both opinion geometries
+/// plus the cached SSSP rows they were derived from. The delta-series
+/// unit of reuse — [`step`](Self::step) derives the next state's bundle
+/// from this one.
+pub struct DeltaStateGeometry {
+    pos: OpGeometry,
+    neg: OpGeometry,
+}
+
+impl DeltaStateGeometry {
+    /// Builds the bundle from scratch (both opinions in parallel).
+    pub fn fresh(engine: &SndEngine<'_>, state: &NetworkState) -> DeltaStateGeometry {
+        let (pos, neg) = rayon::join(
+            || OpGeometry::fresh(engine, state, Opinion::Positive),
+            || OpGeometry::fresh(engine, state, Opinion::Negative),
+        );
+        DeltaStateGeometry { pos, neg }
+    }
+
+    /// Derives the next state's bundle: touched-edge cost rederivation,
+    /// then row repair — or a fresh rebuild past the fallback conditions
+    /// (see the module docs). Exact either way.
+    pub fn step(
+        &self,
+        engine: &SndEngine<'_>,
+        next: &NetworkState,
+        delta: &StateDelta,
+    ) -> DeltaStateGeometry {
+        let g = engine.graph();
+        let m = g.edge_count();
+        let config = engine.config();
+        let high_churn = delta.touched_edges().len() * REPAIR_EDGE_FRACTION > m;
+
+        let advance_op = |prev: &OpGeometry, op: Opinion| -> OpGeometry {
+            // Touched-edge cost sweep (exact, shared with the fresh path).
+            let mut new_costs = prev.geom.edge_costs.clone();
+            update_edge_costs(
+                g,
+                next,
+                op,
+                &config.ground,
+                delta.touched_edges(),
+                &mut new_costs,
+            );
+            if prev.geom.per_bin {
+                // No cluster geometry to repair: the costs are the
+                // geometry.
+                return OpGeometry {
+                    geom: GroundGeometry {
+                        edge_costs: new_costs,
+                        ..prev.geom.clone_scalars()
+                    },
+                    cluster_rows: Vec::new(),
+                    ecc_fwd: Vec::new(),
+                    ecc_rev: Vec::new(),
+                };
+            }
+            if high_churn || prev.cluster_rows.is_empty() {
+                return OpGeometry::from_costs(engine, op, new_costs);
+            }
+            let changes: Vec<CostChange> = delta
+                .touched_edges()
+                .iter()
+                .filter(|&&e| new_costs[e as usize] != prev.geom.edge_costs[e as usize])
+                .map(|&e| (e, prev.geom.edge_costs[e as usize]))
+                .collect();
+            if changes.is_empty() {
+                // Costs identical for this opinion: geometry carries over.
+                return OpGeometry {
+                    geom: GroundGeometry {
+                        edge_costs: new_costs,
+                        ..prev.geom.clone_scalars()
+                    },
+                    cluster_rows: prev.cluster_rows.clone(),
+                    ecc_fwd: prev.ecc_fwd.clone(),
+                    ecc_rev: prev.ecc_rev.clone(),
+                };
+            }
+            prev.advanced(engine, new_costs, &changes)
+        };
+
+        let (pos, neg) = rayon::join(
+            || advance_op(&self.pos, Opinion::Positive),
+            || advance_op(&self.neg, Opinion::Negative),
+        );
+        DeltaStateGeometry { pos, neg }
+    }
+
+    /// Materializes the batch-path bundle for this state: both geometries
+    /// (cloned) plus an empty shared row cache. Feeding these to
+    /// [`SndEngine::breakdown_with`] prices transitions exactly as the
+    /// batch path does.
+    pub fn bundle(&self, engine: &SndEngine<'_>) -> StateGeometry {
+        StateGeometry::new(
+            self.pos.geom.clone(),
+            self.neg.geom.clone(),
+            RowCache::new(engine.graph().node_count()),
+        )
+    }
+}
+
+impl GroundGeometry {
+    /// A copy carrying everything except the edge costs (which every
+    /// delta step replaces).
+    fn clone_scalars(&self) -> GroundGeometry {
+        GroundGeometry {
+            edge_costs: Vec::new(),
+            max_edge_cost: self.max_edge_cost,
+            unreachable: self.unreachable,
+            per_bin: self.per_bin,
+            gammas: self.gammas.clone(),
+            inter_cluster: self.inter_cluster.clone(),
+        }
+    }
+}
+
+/// Delta-aware series evaluation over one engine.
+///
+/// [`SndEngine::series_distances`] delegates here; construct one directly
+/// to reuse it across calls or to drive custom series workloads.
+pub struct SeriesEvaluator<'e, 'g> {
+    engine: &'e SndEngine<'g>,
+}
+
+impl<'e, 'g> SeriesEvaluator<'e, 'g> {
+    /// An evaluator over `engine`.
+    pub fn new(engine: &'e SndEngine<'g>) -> Self {
+        SeriesEvaluator { engine }
+    }
+
+    /// Distances between adjacent states, delta-aware and bit-identical
+    /// to [`SndEngine::series_distances_seq`]. Exactly two repairable
+    /// geometry bundles (and two row caches) are live at any point; the
+    /// geometries are *borrowed* into the term evaluation — never cloned
+    /// per transition.
+    pub fn distances(&self, states: &[NetworkState]) -> Vec<f64> {
+        if states.len() < 2 {
+            return Vec::new();
+        }
+        let engine = self.engine;
+        let g = engine.graph();
+        let n = g.node_count();
+        let mut out = Vec::with_capacity(states.len() - 1);
+        let mut prev = DeltaStateGeometry::fresh(engine, &states[0]);
+        let mut prev_rows = RowCache::new(n);
+        for t in 1..states.len() {
+            let delta = StateDelta::between(g, &states[t - 1], &states[t]);
+            if delta.is_empty() {
+                // Identical states: every EMD* term is exactly zero, and
+                // the geometry (hence the caches) carries over untouched.
+                out.push(crate::engine::SndBreakdown::default().total());
+                continue;
+            }
+            let cur = prev.step(engine, &states[t], &delta);
+            let cur_rows = RowCache::new(n);
+            let breakdown = engine.terms(
+                &states[t - 1],
+                &states[t],
+                [&prev.pos.geom, &prev.neg.geom, &cur.pos.geom, &cur.neg.geom],
+                [
+                    Some(&prev_rows),
+                    Some(&prev_rows),
+                    Some(&cur_rows),
+                    Some(&cur_rows),
+                ],
+            );
+            out.push(breakdown.total());
+            prev = cur;
+            prev_rows = cur_rows; // the old cache drops here
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterSpec, SndConfig};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use snd_graph::generators::barabasi_albert;
+
+    fn random_series(n: usize, steps: usize, seed: u64) -> Vec<NetworkState> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut states = Vec::with_capacity(steps + 1);
+        let first: Vec<i8> = (0..n).map(|_| rng.gen_range(-1..=1)).collect();
+        states.push(NetworkState::from_values(&first));
+        for _ in 0..steps {
+            let mut next = states.last().unwrap().clone();
+            for _ in 0..1 + rng.gen_range(0..3) {
+                let u = rng.gen_range(0..n as u32);
+                next.set(u, Opinion::from_value(rng.gen_range(-1..=1)));
+            }
+            states.push(next);
+        }
+        states
+    }
+
+    fn configs() -> Vec<SndConfig> {
+        vec![
+            SndConfig::default(), // per-bin
+            SndConfig {
+                clusters: ClusterSpec::BfsPartition { clusters: 3 },
+                gamma: GammaPolicy::Eccentricity,
+                ..Default::default()
+            },
+            SndConfig {
+                clusters: ClusterSpec::BfsPartition { clusters: 4 },
+                gamma: GammaPolicy::Constant(5),
+                banks_per_cluster: 2,
+                ..Default::default()
+            },
+            SndConfig {
+                clusters: ClusterSpec::BfsPartition { clusters: 2 },
+                gamma: GammaPolicy::HalfExactDiameter,
+                ..Default::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn fresh_geometry_matches_compute_geometry() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = barabasi_albert(40, 2, &mut rng);
+        for config in configs() {
+            let engine = SndEngine::new(&g, config);
+            let vals: Vec<i8> = (0..40).map(|_| rng.gen_range(-1..=1)).collect();
+            let state = NetworkState::from_values(&vals);
+            for op in [Opinion::Positive, Opinion::Negative] {
+                let fresh = OpGeometry::fresh(&engine, &state, op);
+                assert_eq!(fresh.geom, engine.geometry_seq(&state, op));
+            }
+        }
+    }
+
+    #[test]
+    fn stepped_geometry_matches_fresh_geometry() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let g = barabasi_albert(36, 2, &mut rng);
+        let states = random_series(36, 8, 7);
+        for config in configs() {
+            let engine = SndEngine::new(&g, config);
+            let mut cache = DeltaStateGeometry::fresh(&engine, &states[0]);
+            for t in 1..states.len() {
+                let delta = StateDelta::between(&g, &states[t - 1], &states[t]);
+                cache = cache.step(&engine, &states[t], &delta);
+                assert_eq!(
+                    cache.pos.geom,
+                    engine.geometry_seq(&states[t], Opinion::Positive),
+                    "t={t}"
+                );
+                assert_eq!(
+                    cache.neg.geom,
+                    engine.geometry_seq(&states[t], Opinion::Negative),
+                    "t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_series_matches_seq_on_random_series() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let g = barabasi_albert(30, 2, &mut rng);
+        let states = random_series(30, 6, 11);
+        for config in configs() {
+            let engine = SndEngine::new(&g, config);
+            let delta = SeriesEvaluator::new(&engine).distances(&states);
+            let seq = engine.series_distances_seq(&states);
+            assert_eq!(delta, seq, "bit-identical series");
+        }
+    }
+
+    #[test]
+    fn empty_delta_short_circuits_to_zero() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = barabasi_albert(20, 2, &mut rng);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let a = NetworkState::from_values(&(0..20).map(|i| (i % 3) as i8 - 1).collect::<Vec<_>>());
+        let mut b = a.clone();
+        b.set(3, Opinion::Neutral);
+        // a, a (identical), b, b, a — two static transitions inside.
+        let states = vec![a.clone(), a.clone(), b.clone(), b, a];
+        let delta = SeriesEvaluator::new(&engine).distances(&states);
+        assert_eq!(delta[0], 0.0);
+        assert_eq!(delta[2], 0.0);
+        assert_eq!(delta, engine.series_distances_seq(&states));
+    }
+
+    #[test]
+    fn high_churn_falls_back_and_stays_exact() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let g = barabasi_albert(24, 2, &mut rng);
+        // Flip nearly every node every step: far past the repair
+        // threshold.
+        let mut states = Vec::new();
+        states.push(NetworkState::from_values(
+            &(0..24).map(|_| rng.gen_range(-1..=1)).collect::<Vec<i8>>(),
+        ));
+        for _ in 0..4 {
+            states.push(NetworkState::from_values(
+                &(0..24).map(|_| rng.gen_range(-1..=1)).collect::<Vec<i8>>(),
+            ));
+        }
+        for config in configs() {
+            let engine = SndEngine::new(&g, config);
+            let delta = SeriesEvaluator::new(&engine).distances(&states);
+            assert_eq!(delta, engine.series_distances_seq(&states));
+        }
+    }
+}

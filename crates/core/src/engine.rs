@@ -5,12 +5,15 @@
 //! [`SndEngine`] is immutable after construction and `Sync`: share one
 //! engine by reference across any number of threads. Per-call parallelism
 //! is internal — [`breakdown`](SndEngine::breakdown) evaluates its four
-//! EMD\* terms concurrently, and the batch entry points
-//! ([`pairwise_distances`](SndEngine::pairwise_distances),
-//! [`series_distances`](SndEngine::series_distances)) fan comparisons out
-//! over all cores. Results are bit-identical to a sequential evaluation:
-//! every term is an independent exact computation and reductions happen in
-//! a fixed order.
+//! EMD\* terms concurrently, and
+//! [`pairwise_distances`](SndEngine::pairwise_distances) fans comparisons
+//! out over all cores. [`series_distances`](SndEngine::series_distances)
+//! instead walks the series *incrementally* (delta-aware, see
+//! [`crate::delta`]) with per-transition parallelism only —
+//! [`series_distances_batch`](SndEngine::series_distances_batch) keeps the
+//! windowed cross-transition fan-out for multi-core runs. Results are
+//! bit-identical to a sequential evaluation either way: every term is an
+//! independent exact computation and reductions happen in a fixed order.
 //!
 //! Parallelism nests safely: terms running on the shared rayon pool may
 //! themselves hit the transportation simplex's parallel pricing (large
@@ -48,21 +51,61 @@ impl SndBreakdown {
 
 /// Per-state evaluation bundle: both opinion geometries plus the shared,
 /// thread-safe SSSP row cache for comparisons grounded in that state.
-/// Built by [`SndEngine::state_geometry`], consumed by
+/// Built by [`SndEngine::state_geometry`] (or [`StateGeometry::new`] —
+/// the only constructors, so the live/peak accounting below stays
+/// balanced with the `Drop` impl), consumed by
 /// [`SndEngine::breakdown_with`] and the batch entry points.
 pub struct StateGeometry {
     /// `D(state, +)` geometry.
-    pub pos: GroundGeometry,
+    pub(crate) pos: GroundGeometry,
     /// `D(state, −)` geometry.
-    pub neg: GroundGeometry,
+    pub(crate) neg: GroundGeometry,
     /// Shared row cache (one slot per `(opinion, direction, node)`).
-    pub cache: RowCache,
+    pub(crate) cache: RowCache,
 }
 
+/// Live [`StateGeometry`] bundles right now — each holds O(n) geometry
+/// plus its row cache, so series evaluation must bound this.
+static LIVE_BUNDLES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+/// High-water mark of [`LIVE_BUNDLES`] since the last reset.
+static PEAK_BUNDLES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
 impl StateGeometry {
+    /// Assembles a bundle, tracking it in the live/peak accounting.
+    pub fn new(pos: GroundGeometry, neg: GroundGeometry, cache: RowCache) -> StateGeometry {
+        use std::sync::atomic::Ordering;
+        let live = LIVE_BUNDLES.fetch_add(1, Ordering::Relaxed) + 1;
+        PEAK_BUNDLES.fetch_max(live, Ordering::Relaxed);
+        StateGeometry { pos, neg, cache }
+    }
+
     /// Number of SSSP rows computed into this bundle's cache so far.
     pub fn cached_rows(&self) -> usize {
         self.cache.computed_rows()
+    }
+
+    /// Bundles alive right now (process-wide).
+    pub fn live_count() -> usize {
+        LIVE_BUNDLES.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// High-water mark of live bundles since the last
+    /// [`reset_peak_live`](Self::reset_peak_live) — the observability
+    /// hook the series memory test asserts on (series evaluation must
+    /// keep at most two bundles alive).
+    pub fn peak_live() -> usize {
+        PEAK_BUNDLES.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live count.
+    pub fn reset_peak_live() {
+        PEAK_BUNDLES.store(Self::live_count(), std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Drop for StateGeometry {
+    fn drop(&mut self) {
+        LIVE_BUNDLES.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -142,11 +185,7 @@ impl<'g> SndEngine<'g> {
             || self.geometry(state, Opinion::Positive),
             || self.geometry(state, Opinion::Negative),
         );
-        StateGeometry {
-            pos,
-            neg,
-            cache: RowCache::new(self.graph.node_count()),
-        }
+        StateGeometry::new(pos, neg, RowCache::new(self.graph.node_count()))
     }
 
     /// SND between two states via the sparse (Theorem 4) path.
@@ -256,7 +295,12 @@ impl<'g> SndEngine<'g> {
         )
     }
 
-    fn terms(
+    /// The four Eq. 3 terms over explicit geometries and row caches — the
+    /// borrowing building block behind
+    /// [`breakdown_with`](Self::breakdown_with) and the delta series path
+    /// (which owns its geometries inside repairable bundles and must not
+    /// clone them per transition).
+    pub(crate) fn terms(
         &self,
         a: &NetworkState,
         b: &NetworkState,
@@ -314,15 +358,27 @@ impl<'g> SndEngine<'g> {
             + term(b, b, a, Opinion::Negative))
     }
 
-    /// Distances between adjacent states of a series (sparse path), sharing
-    /// geometry and SSSP rows between the two pairs each state participates
-    /// in. Returns `states.len() − 1` values.
-    ///
-    /// Evaluation is parallel — geometries for all states are computed
-    /// concurrently, then every transition fans out over the thread pool —
-    /// and bit-identical to the sequential loop of
-    /// [`series_distances_seq`](Self::series_distances_seq).
+    /// Distances between adjacent states of a series (sparse path),
+    /// evaluated **delta-aware**: consecutive snapshots share everything
+    /// their [`StateDelta`](snd_models::StateDelta) leaves untouched —
+    /// edge costs are re-derived only on touched edges, cluster-bank SSSP
+    /// rows are *repaired* rather than recomputed, identical states
+    /// short-circuit to zero — with an automatic fallback to a fresh
+    /// rebuild on high-churn transitions (see [`crate::delta`]). Returns
+    /// `states.len() − 1` values, bit-identical to
+    /// [`series_distances_seq`](Self::series_distances_seq); at most two
+    /// geometry bundles are live at any point.
     pub fn series_distances(&self, states: &[NetworkState]) -> Vec<f64> {
+        crate::delta::SeriesEvaluator::new(self).distances(states)
+    }
+
+    /// The pre-delta batch series path: geometries for a window of states
+    /// computed concurrently, then every transition fanned out over the
+    /// thread pool. Kept as the wall-clock baseline the delta path is
+    /// benchmarked against (`BENCH_series.json`) and for multi-core runs
+    /// where cross-transition parallelism can beat incremental repair.
+    /// Bit-identical to [`series_distances_seq`](Self::series_distances_seq).
+    pub fn series_distances_batch(&self, states: &[NetworkState]) -> Vec<f64> {
         use rayon::prelude::*;
         if states.len() < 2 {
             return Vec::new();
@@ -364,7 +420,10 @@ impl<'g> SndEngine<'g> {
     /// [`series_distances`](Self::series_distances): one transition at a
     /// time with no thread fan-out, geometries shared between adjacent
     /// pairs (the seed's original behavior). Kept for validation and
-    /// single-core baselines.
+    /// single-core baselines. Identical consecutive states short-circuit
+    /// to [`SndBreakdown::default`] — every EMD\* term over equal states
+    /// is exactly zero and the geometry carries over unchanged, so the
+    /// shortcut is value-preserving.
     pub fn series_distances_seq(&self, states: &[NetworkState]) -> Vec<f64> {
         if states.len() < 2 {
             return Vec::new();
@@ -375,6 +434,10 @@ impl<'g> SndEngine<'g> {
             self.geometry_seq(&states[0], Opinion::Negative),
         );
         for t in 1..states.len() {
+            if states[t - 1] == states[t] {
+                out.push(SndBreakdown::default().total());
+                continue;
+            }
             let cur = (
                 self.geometry_seq(&states[t], Opinion::Positive),
                 self.geometry_seq(&states[t], Opinion::Negative),

@@ -28,10 +28,40 @@
 //! per-cluster bank distances γ, and the inter-cluster distance matrix; it
 //! is reusable across comparisons involving the same state — see
 //! [`SndEngine::series_distances`] and [`OrderedSnd`].
+//!
+//! # The delta pipeline (time-series workloads)
+//!
+//! Series workloads compare *consecutive* snapshots of one evolving
+//! network, and a simulation step flips a handful of opinions out of
+//! thousands. [`SndEngine::series_distances`] therefore evaluates
+//! **delta-aware** (module [`delta`]): a
+//! [`StateDelta`](snd_models::StateDelta) names the flipped nodes and the
+//! touched edges, edge costs are re-derived on touched edges only, the
+//! per-cluster SSSP rows behind the cluster-bank geometry are *repaired*
+//! ([`snd_graph::repair_row`], Ramalingam–Reps style) rather than
+//! recomputed — clusters whose rows the repair leaves untouched reuse
+//! their previous inter-cluster row and γ verbatim — and identical
+//! consecutive states short-circuit to zero. The checkpoint-backed series
+//! path ([`SndEngine::series_tiles_checkpointed`], surfaced as
+//! `snd_analysis::resume::series_distances_checkpointed`) advances the
+//! same repairable bundles along the series.
+//!
+//! Every fast path is **exact** (shortest-path distances are the unique
+//! relaxation fixpoint, so repaired geometry is bit-identical to a
+//! from-scratch build; `tests/delta_series.rs` asserts equality with
+//! [`SndEngine::series_distances_seq`] across every registry scenario),
+//! and the path **falls back** to a fresh rebuild per transition when the
+//! touched-edge count exceeds `1/`[`REPAIR_EDGE_FRACTION`] of the edges
+//! (high-churn dynamics), when the clamped `u32` distance domain would be
+//! lossy (`U·n + 1` past the sentinel cap), or under the
+//! `HalfExactDiameter` γ policy (whose per-member SSSPs are not cached).
+//! Measured effect on the 10k-node series workload: `BENCH_series.json`
+//! (regenerate with `cargo bench -p snd-bench --bench delta_series`).
 
 pub mod banks;
 pub mod batch;
 pub mod config;
+pub mod delta;
 pub mod dense;
 pub mod engine;
 pub mod ordered;
@@ -41,6 +71,7 @@ pub mod sparse;
 pub use banks::GroundGeometry;
 pub use batch::DistanceMatrix;
 pub use config::{ClusterSpec, GammaPolicy, SndConfig};
+pub use delta::{DeltaStateGeometry, SeriesEvaluator, REPAIR_EDGE_FRACTION};
 pub use engine::{SndBreakdown, SndEngine, StateGeometry};
 pub use ordered::OrderedSnd;
 pub use shard::{

@@ -128,6 +128,17 @@ const MAGIC: &str = "SNDSHARD v1";
 /// checkpoint append point.
 type OnTile<'a> = dyn FnMut(usize, &[f64]) -> Result<(), ShardError> + 'a;
 
+/// Tile-computation callee plugged into the shared checkpointed-run
+/// skeleton (`SndEngine::run_checkpointed`): the batch plan path or the
+/// delta-advanced series path.
+type TileCompute<'g> = fn(
+    &SndEngine<'g>,
+    &[NetworkState],
+    &ShardPlan,
+    &mut TileSet,
+    &mut OnTile<'_>,
+) -> Result<(), ShardError>;
+
 /// Errors from shard planning, checkpoint IO, and merging.
 #[derive(Debug)]
 pub enum ShardError {
@@ -620,6 +631,15 @@ fn tile_line(out: &mut String, id: usize, values: &[f64]) {
     out.push('\n');
 }
 
+/// Appends one finished tile to a checkpoint file and flushes it.
+fn append_tile(file: &mut std::fs::File, id: usize, values: &[f64]) -> Result<(), ShardError> {
+    let mut line = String::new();
+    tile_line(&mut line, id, values);
+    file.write_all(line.as_bytes())?;
+    file.flush()?;
+    Ok(())
+}
+
 fn parse_header(line: &str) -> Option<(TileGrid, u64)> {
     let mut t = line.split_ascii_whitespace();
     if t.next()? != "k" {
@@ -719,7 +739,48 @@ impl<'g> SndEngine<'g> {
         plan: &ShardPlan,
         path: &Path,
     ) -> Result<ShardRun, ShardError> {
-        let grid = *plan.grid();
+        self.run_checkpointed(states, plan, path, Self::compute_plan_tiles)
+    }
+
+    /// The shared checkpointed-run skeleton: open/validate/resume the
+    /// checkpoint, hand the missing tiles to `compute` with the
+    /// append-and-flush hook, and account for the run. Both the batch
+    /// tile path and the delta series path go through here, so the
+    /// checkpoint handling can never diverge between them.
+    fn run_checkpointed(
+        &self,
+        states: &[NetworkState],
+        plan: &ShardPlan,
+        path: &Path,
+        compute: TileCompute<'g>,
+    ) -> Result<ShardRun, ShardError> {
+        let (mut set, mut file) = self.open_checkpoint(states, plan.grid(), path)?;
+        let resumed = plan
+            .tile_ids()
+            .iter()
+            .filter(|id| set.contains(**id))
+            .count();
+        compute(self, states, plan, &mut set, &mut |id, values| {
+            append_tile(&mut file, id, values)
+        })?;
+        Ok(ShardRun {
+            tiles: set.restrict(plan.tile_ids()),
+            resumed,
+            computed: plan.tile_ids().len() - resumed,
+        })
+    }
+
+    /// Opens (or creates) a checkpoint for this `(states, grid)` run:
+    /// validates the grid and fingerprint, discards a half-written
+    /// trailing line, and returns the resumed set plus the file
+    /// positioned for appending.
+    fn open_checkpoint(
+        &self,
+        states: &[NetworkState],
+        grid: &TileGrid,
+        path: &Path,
+    ) -> Result<(TileSet, std::fs::File), ShardError> {
+        let grid = *grid;
         let fingerprint = self.shard_fingerprint(states);
         let mut expected_header = String::new();
         header_lines(&mut expected_header, &grid, fingerprint);
@@ -756,37 +817,20 @@ impl<'g> SndEngine<'g> {
                 Some((set, clean_len))
             }
         };
-        let (mut set, mut file) = match existing {
+        match existing {
             Some((set, clean_len)) => {
                 // Truncate away any half-written tail, then append.
                 let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
                 file.set_len(clean_len)?;
                 file.seek(SeekFrom::End(0))?;
-                (set, file)
+                Ok((set, file))
             }
             None => {
                 let mut file = std::fs::File::create(path)?;
                 file.write_all(expected_header.as_bytes())?;
-                (TileSet::empty(grid, fingerprint), file)
+                Ok((TileSet::empty(grid, fingerprint), file))
             }
-        };
-        let resumed = plan
-            .tile_ids()
-            .iter()
-            .filter(|id| set.contains(**id))
-            .count();
-        self.compute_plan_tiles(states, plan, &mut set, &mut |id, values| {
-            let mut line = String::new();
-            tile_line(&mut line, id, values);
-            file.write_all(line.as_bytes())?;
-            file.flush()?;
-            Ok(())
-        })?;
-        Ok(ShardRun {
-            tiles: set.restrict(plan.tile_ids()),
-            resumed,
-            computed: plan.tile_ids().len() - resumed,
-        })
+        }
     }
 
     /// Computes the plan's tiles missing from `set`, invoking `on_tile`
@@ -853,6 +897,145 @@ impl<'g> SndEngine<'g> {
             let terms: Vec<f64> = (0..pairs.len() * 4)
                 .into_par_iter()
                 .map(|t| {
+                    let (i, j) = pairs[t / 4];
+                    let (ga, gb) = (
+                        geoms[i].as_ref().expect("geometry materialized"),
+                        geoms[j].as_ref().expect("geometry materialized"),
+                    );
+                    self.pair_term(&states[i], &states[j], ga, gb, t % 4)
+                })
+                .collect();
+            let values: Vec<f64> = terms
+                .chunks_exact(4)
+                .map(|t| {
+                    SndBreakdown {
+                        forward_pos: t[0],
+                        forward_neg: t[1],
+                        backward_pos: t[2],
+                        backward_neg: t[3],
+                    }
+                    .total()
+                })
+                .collect();
+
+            on_tile(id, &values)?;
+            set.insert(id, values);
+            for &s in touched {
+                if last_use[s] == pos {
+                    geoms[s] = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoint-backed **series** run through the delta path: computes
+    /// (or resumes) exactly the superdiagonal tiles, building each
+    /// state's geometry bundle by *advancing* the previous state's bundle
+    /// through their [`StateDelta`](snd_models::StateDelta) — touched-edge
+    /// cost rederivation plus SSSP row repair (see [`crate::delta`]) —
+    /// instead of rebuilding it from scratch. Tile values, the checkpoint
+    /// format, and the fingerprint are bit-identical to
+    /// [`pairwise_tiles_checkpointed`](Self::pairwise_tiles_checkpointed)
+    /// over [`ShardPlan::superdiagonal`]; checkpoints written by either
+    /// path resume under the other, and a later full-matrix run reuses
+    /// the series tiles.
+    pub fn series_tiles_checkpointed(
+        &self,
+        states: &[NetworkState],
+        tile: usize,
+        path: &Path,
+    ) -> Result<ShardRun, ShardError> {
+        let grid = TileGrid::new(states.len(), tile);
+        let plan = ShardPlan::superdiagonal(grid);
+        self.run_checkpointed(states, &plan, path, Self::compute_series_tiles)
+    }
+
+    /// Computes the plan's missing tiles with delta-advanced geometry
+    /// bundles. Tiles are visited in ascending ID order, which for a
+    /// superdiagonal plan walks the states monotonically — the delta
+    /// chain advances one transition at a time and jumps (fresh rebuild)
+    /// across long resumed stretches.
+    fn compute_series_tiles(
+        &self,
+        states: &[NetworkState],
+        plan: &ShardPlan,
+        set: &mut TileSet,
+        on_tile: &mut OnTile<'_>,
+    ) -> Result<(), ShardError> {
+        use crate::delta::DeltaStateGeometry;
+        use snd_models::StateDelta;
+
+        let grid = plan.grid();
+        assert_eq!(
+            grid.states(),
+            states.len(),
+            "tile grid sized for a different snapshot set"
+        );
+        let todo: Vec<usize> = plan
+            .tile_ids()
+            .iter()
+            .copied()
+            .filter(|id| !set.contains(*id))
+            .collect();
+
+        let mut last_use = vec![usize::MAX; states.len()];
+        let tile_states: Vec<Vec<usize>> = todo
+            .iter()
+            .map(|&id| {
+                let mut touched: Vec<usize> =
+                    grid.pairs(id).iter().flat_map(|&(i, j)| [i, j]).collect();
+                touched.sort_unstable();
+                touched.dedup();
+                touched
+            })
+            .collect();
+        for (pos, touched) in tile_states.iter().enumerate() {
+            for &s in touched {
+                last_use[s] = pos;
+            }
+        }
+
+        // The delta chain: the most recently materialized state's
+        // repairable geometry. Advancing it one transition costs the
+        // touched-edge sweep plus row repair; a gap longer than two
+        // blocks (resumed tiles) is cheaper to cross with a fresh build.
+        let mut chain: Option<(usize, DeltaStateGeometry)> = None;
+        let mut geoms: Vec<Option<StateGeometry>> = (0..states.len()).map(|_| None).collect();
+        for (pos, (&id, touched)) in todo.iter().zip(&tile_states).enumerate() {
+            for &s in touched {
+                if geoms[s].is_some() {
+                    continue;
+                }
+                let cache = match chain.take() {
+                    Some((at, cache)) if at < s && s - at <= 2 * grid.tile_size() => {
+                        let mut cache = cache;
+                        for k in at + 1..=s {
+                            let delta =
+                                StateDelta::between(self.graph(), &states[k - 1], &states[k]);
+                            if !delta.is_empty() {
+                                cache = cache.step(self, &states[k], &delta);
+                            }
+                        }
+                        cache
+                    }
+                    Some((at, cache)) if at == s => cache,
+                    _ => DeltaStateGeometry::fresh(self, &states[s]),
+                };
+                geoms[s] = Some(cache.bundle(self));
+                chain = Some((s, cache));
+            }
+
+            let pairs = grid.pairs(id);
+            // Identical states price to exactly zero (every EMD* term of
+            // an equal pair vanishes) — skip their solves outright.
+            let equal: Vec<bool> = pairs.iter().map(|&(i, j)| states[i] == states[j]).collect();
+            let terms: Vec<f64> = (0..pairs.len() * 4)
+                .into_par_iter()
+                .map(|t| {
+                    if equal[t / 4] {
+                        return 0.0;
+                    }
                     let (i, j) = pairs[t / 4];
                     let (ga, gb) = (
                         geoms[i].as_ref().expect("geometry materialized"),

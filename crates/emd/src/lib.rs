@@ -36,8 +36,8 @@ pub use classic::{emd, emd_total_cost};
 pub use hat::emd_hat;
 pub use histogram::{Histogram, DEFAULT_SCALE};
 pub use star::{
-    bank_capacities, bank_capacities_from_cluster_masses, emd_star, extended_ground,
-    proportional_split, BankCapacities, EmdStar, StarGeometry,
+    bank_capacities, bank_capacities_from_cluster_masses, emd_star, emd_star_reduced,
+    extended_ground, proportional_split, BankCapacities, EmdStar, StarGeometry,
 };
 
 pub use snd_transport::{DenseCost, Solver};

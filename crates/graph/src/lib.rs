@@ -35,6 +35,6 @@ pub use csr::{CsrGraph, EdgeId, GraphBuilder, NodeId};
 pub use laplacian::{dense_laplacian, laplacian_quadratic_form};
 pub use shortest_paths::{
     bellman_ford, dial, dial_reverse, dial_reverse_scratch, dial_scratch, dijkstra,
-    dijkstra_reverse, dijkstra_scratch, floyd_warshall, radix_dijkstra, Dist, SsspScratch,
-    UNREACHABLE,
+    dijkstra_reverse, dijkstra_scratch, floyd_warshall, radix_dijkstra, repair_row, CostChange,
+    Dist, RepairScratch, SsspScratch, UNREACHABLE,
 };

@@ -19,12 +19,14 @@ mod dial_queue;
 mod dijkstra_impl;
 mod oracle;
 mod radix_heap;
+mod repair;
 mod scratch;
 
 pub use dial_queue::{dial, dial_reverse};
 pub use dijkstra_impl::{dijkstra, dijkstra_bounded, dijkstra_reverse};
 pub use oracle::{bellman_ford, floyd_warshall};
 pub use radix_heap::{radix_dijkstra, RadixHeap};
+pub use repair::{repair_row, CostChange, RepairScratch};
 pub use scratch::{dial_reverse_scratch, dial_scratch, dijkstra_scratch, SsspScratch};
 
 /// Distance type. Path costs fit easily: at most `(n-1) * U`.

@@ -63,6 +63,25 @@ impl AgnosticPenalties {
     }
 }
 
+/// Penalty of one edge given the spreader's and receiver's stances — the
+/// single-edge kernel shared by [`spreading_costs`] and the delta path
+/// (`crate::delta`), which rederives costs only on touched edges.
+#[inline]
+pub(crate) fn edge_penalty(
+    gu: Opinion,
+    gv: Opinion,
+    op: Opinion,
+    penalties: &AgnosticPenalties,
+) -> u32 {
+    if (gu.is_active() && gu != op) || gv == op.opposite() {
+        penalties.adverse
+    } else if gu == Opinion::Neutral {
+        penalties.neutral
+    } else {
+        penalties.friendly
+    }
+}
+
 /// Spreading penalties per edge for opinion `op` in state `state`.
 pub fn spreading_costs(
     g: &CsrGraph,
@@ -72,16 +91,12 @@ pub fn spreading_costs(
 ) -> Vec<u32> {
     let mut costs = Vec::with_capacity(g.edge_count());
     for (u, v) in g.edges() {
-        let gu = state.opinion(u);
-        let gv = state.opinion(v);
-        let c = if (gu.is_active() && gu != op) || gv == op.opposite() {
-            penalties.adverse
-        } else if gu == Opinion::Neutral {
-            penalties.neutral
-        } else {
-            penalties.friendly
-        };
-        costs.push(c);
+        costs.push(edge_penalty(
+            state.opinion(u),
+            state.opinion(v),
+            op,
+            penalties,
+        ));
     }
     costs
 }

@@ -132,6 +132,73 @@ impl IccParams {
     }
 }
 
+/// The active front at node `v`: distance of the nearest active
+/// in-neighbor and the total activation-probability mass at that distance.
+/// Iterates `v`'s in-edges in edge order, so the floating-point sum is
+/// reproducible — the delta path (`crate::delta`) recomputes exactly this
+/// per touched receiver and must match the full sweep bit for bit.
+pub(crate) fn front_at(
+    g: &CsrGraph,
+    state: &NetworkState,
+    params: &IccParams,
+    v: u32,
+) -> (u32, f64) {
+    let mut dist = u32::MAX;
+    for (e, u) in g.in_edges(v) {
+        if state.opinion(u).is_active() {
+            let d = params.distance_of(e);
+            if d < dist {
+                dist = d;
+            }
+        }
+    }
+    let mut prob = 0.0f64;
+    for (e, u) in g.in_edges(v) {
+        if state.opinion(u).is_active() && params.distance_of(e) == dist {
+            prob += params.activation_of(g, e, v);
+        }
+    }
+    (dist, prob)
+}
+
+/// Spreading probability of one edge `e = (u, v)` given `v`'s active front
+/// — the single-edge kernel shared by [`spreading_probabilities`] and the
+/// delta path.
+#[allow(clippy::too_many_arguments)] // mirrors the per-edge model inputs
+pub(crate) fn edge_probability(
+    g: &CsrGraph,
+    state: &NetworkState,
+    op: Opinion,
+    params: &IccParams,
+    e: u32,
+    u: u32,
+    v: u32,
+    front_dist: u32,
+    front_prob: f64,
+) -> f64 {
+    let eps = params.epsilon;
+    let gu = state.opinion(u);
+    let gv = state.opinion(v);
+    let p = if gu == op && gv == op {
+        1.0
+    } else if gu == op && gv == Opinion::Neutral {
+        // Only nearest-front influencers can activate v.
+        if params.distance_of(e) > front_dist {
+            eps
+        } else {
+            let puv = params.activation_of(g, e, v);
+            if front_prob > 0.0 {
+                ((puv - eps).max(0.0) / front_prob).min(1.0)
+            } else {
+                eps
+            }
+        }
+    } else {
+        eps
+    };
+    p.max(eps)
+}
+
 /// Spreading probabilities per edge for opinion `op` in state `state`.
 pub fn spreading_probabilities(
     g: &CsrGraph,
@@ -145,7 +212,6 @@ pub fn spreading_probabilities(
     if let Some(d) = &params.distances {
         assert_eq!(d.len(), g.edge_count(), "distances per edge");
     }
-    let eps = params.epsilon;
 
     // Per node v: the distance of the nearest active in-neighbor (front
     // distance) and the total activation probability mass of the front.
@@ -153,46 +219,26 @@ pub fn spreading_probabilities(
     let mut front_dist = vec![u32::MAX; n];
     let mut front_prob = vec![0.0f64; n];
     for v in g.nodes() {
-        for (e, u) in g.in_edges(v) {
-            if state.opinion(u).is_active() {
-                let d = params.distance_of(e);
-                if d < front_dist[v as usize] {
-                    front_dist[v as usize] = d;
-                }
-            }
-        }
-        for (e, u) in g.in_edges(v) {
-            if state.opinion(u).is_active() && params.distance_of(e) == front_dist[v as usize] {
-                front_prob[v as usize] += params.activation_of(g, e, v);
-            }
-        }
+        let (d, p) = front_at(g, state, params, v);
+        front_dist[v as usize] = d;
+        front_prob[v as usize] = p;
     }
 
     let mut probs = Vec::with_capacity(g.edge_count());
     let mut edge_id = 0u32;
     for u in g.nodes() {
         for &v in g.out_neighbors(u) {
-            let gu = state.opinion(u);
-            let gv = state.opinion(v);
-            let p = if gu == op && gv == op {
-                1.0
-            } else if gu == op && gv == Opinion::Neutral {
-                // Only nearest-front influencers can activate v.
-                if params.distance_of(edge_id) > front_dist[v as usize] {
-                    eps
-                } else {
-                    let puv = params.activation_of(g, edge_id, v);
-                    let pa = front_prob[v as usize];
-                    if pa > 0.0 {
-                        ((puv - eps).max(0.0) / pa).min(1.0)
-                    } else {
-                        eps
-                    }
-                }
-            } else {
-                eps
-            };
-            probs.push(p.max(eps));
+            probs.push(edge_probability(
+                g,
+                state,
+                op,
+                params,
+                edge_id,
+                u,
+                v,
+                front_dist[v as usize],
+                front_prob[v as usize],
+            ));
             edge_id += 1;
         }
     }

@@ -46,6 +46,7 @@
 //! (`tests/dynamics.rs` pins fingerprints).
 
 pub mod agnostic;
+pub mod delta;
 pub mod dynamics;
 pub mod error;
 pub mod ground;
@@ -55,6 +56,7 @@ pub mod process;
 pub mod state;
 
 pub use agnostic::AgnosticPenalties;
+pub use delta::{update_edge_costs, StateDelta};
 pub use error::ModelError;
 pub use ground::{edge_costs, prob_to_cost, GroundCostConfig, SpreadingModel};
 pub use icc::IccParams;

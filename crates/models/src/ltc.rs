@@ -135,6 +135,50 @@ impl LtcParams {
     }
 }
 
+/// Ω_in at node `v`: total incoming active influence. Iterates `v`'s
+/// in-edges in edge order so the floating-point sum is reproducible — the
+/// delta path (`crate::delta`) recomputes exactly this per touched
+/// receiver and must match the full sweep bit for bit.
+pub(crate) fn omega_at(g: &CsrGraph, state: &NetworkState, params: &LtcParams, v: u32) -> f64 {
+    let mut omega = 0.0f64;
+    for (e, u) in g.in_edges(v) {
+        if state.opinion(u).is_active() {
+            omega += params.weight_of(g, e, v);
+        }
+    }
+    omega
+}
+
+/// Spreading probability of one edge `e = (u, v)` given `v`'s Ω_in — the
+/// single-edge kernel shared by [`spreading_probabilities`] and the delta
+/// path.
+#[allow(clippy::too_many_arguments)] // mirrors the per-edge model inputs
+pub(crate) fn edge_probability(
+    g: &CsrGraph,
+    state: &NetworkState,
+    op: Opinion,
+    params: &LtcParams,
+    e: u32,
+    u: u32,
+    v: u32,
+    omega_in: f64,
+) -> f64 {
+    let eps = params.epsilon;
+    let gu = state.opinion(u);
+    let gv = state.opinion(v);
+    let p = if !gu.is_active() {
+        eps // u ∉ N_in(G, v)
+    } else if gu == op && gv == op {
+        1.0
+    } else if gu == op && gv == Opinion::Neutral && omega_in >= params.threshold_of(v) {
+        let w = params.weight_of(g, e, v);
+        ((1.0 - eps) * w / omega_in).min(1.0)
+    } else {
+        eps
+    };
+    p.max(eps)
+}
+
 /// Spreading probabilities per edge for opinion `op` in state `state`.
 pub fn spreading_probabilities(
     g: &CsrGraph,
@@ -148,39 +192,28 @@ pub fn spreading_probabilities(
     if let Some(t) = &params.thresholds {
         assert_eq!(t.len(), g.node_count(), "thresholds per node");
     }
-    let eps = params.epsilon;
 
     // Ω_in per node: total incoming active influence.
     let n = g.node_count();
     let mut omega_in = vec![0.0f64; n];
     for v in g.nodes() {
-        for (e, u) in g.in_edges(v) {
-            if state.opinion(u).is_active() {
-                omega_in[v as usize] += params.weight_of(g, e, v);
-            }
-        }
+        omega_in[v as usize] = omega_at(g, state, params, v);
     }
 
     let mut probs = Vec::with_capacity(g.edge_count());
     let mut edge_id = 0u32;
     for u in g.nodes() {
         for &v in g.out_neighbors(u) {
-            let gu = state.opinion(u);
-            let gv = state.opinion(v);
-            let p = if !gu.is_active() {
-                eps // u ∉ N_in(G, v)
-            } else if gu == op && gv == op {
-                1.0
-            } else if gu == op
-                && gv == Opinion::Neutral
-                && omega_in[v as usize] >= params.threshold_of(v)
-            {
-                let w = params.weight_of(g, edge_id, v);
-                ((1.0 - eps) * w / omega_in[v as usize]).min(1.0)
-            } else {
-                eps
-            };
-            probs.push(p.max(eps));
+            probs.push(edge_probability(
+                g,
+                state,
+                op,
+                params,
+                edge_id,
+                u,
+                v,
+                omega_in[v as usize],
+            ));
             edge_id += 1;
         }
     }

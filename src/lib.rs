@@ -75,7 +75,14 @@
 //!   [`RowCache`](core::RowCache), and all `4·T·(T−1)/2` EMD\* terms
 //!   fanned out over the thread pool.
 //! * [`SndEngine::series_distances`](core::SndEngine::series_distances) —
-//!   the adjacent-pair series, parallel with the same per-state sharing.
+//!   the adjacent-pair series, evaluated **delta-aware**
+//!   ([`core::delta`]): edge costs re-derived only on the edges a
+//!   transition's [`StateDelta`](models::StateDelta) touched, cluster
+//!   geometry SSSP rows *repaired* ([`graph::repair_row`]) instead of
+//!   recomputed, identical snapshots short-circuited to zero, with an
+//!   automatic fresh-rebuild fallback on high-churn transitions — exact
+//!   (bit-identical to the sequential reference) in every regime, and at
+//!   most two geometry bundles live at a time.
 //! * [`OrderedSnd::distances_to`](core::OrderedSnd::distances_to) — a
 //!   candidate batch priced in parallel against one anchored ground state
 //!   (the opinion-prediction search loop).

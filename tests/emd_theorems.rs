@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use snd::emd::{
-    emd, emd_alpha, emd_hat, emd_star, emd_total_cost, DenseCost, Histogram, Solver, StarGeometry,
+    emd, emd_alpha, emd_hat, emd_star, emd_star_reduced, emd_total_cost, DenseCost, Histogram,
+    Solver, StarGeometry,
 };
 
 /// Random metric: pairwise distances of points on a line.
@@ -130,5 +131,37 @@ proptest! {
         if p != q {
             prop_assert!(pq > 0.0, "distinct histograms at distance 0");
         }
+    }
+
+    /// The net-mass-reduced EMD* equals the full extended problem exactly
+    /// on triangle-satisfying extended grounds (per-bin and
+    /// single-cluster geometries over a metric ground) — the churned-mass
+    /// instance the delta series regime prices.
+    #[test]
+    fn emd_star_reduced_equals_full_on_triangle_grounds(
+        points in proptest::collection::vec(0u32..60, 2..8),
+        masses_p in arb_masses(8),
+        masses_q in arb_masses(8),
+        gamma in 1u32..10,
+        per_bin_sel in 0u8..2,
+    ) {
+        let per_bin = per_bin_sel == 1;
+        let n = points.len();
+        let d = line_points_metric(&points);
+        let p = Histogram::from_masses(masses_p[..n].to_vec(), 1);
+        let q = Histogram::from_masses(masses_q[..n].to_vec(), 1);
+        let geom = if per_bin {
+            StarGeometry {
+                labels: (0..n as u32).collect(),
+                cluster_count: n,
+                gammas: vec![vec![gamma]; n],
+                inter_cluster: d.clone(),
+            }
+        } else {
+            StarGeometry::single_cluster(n, vec![d.max_entry().max(gamma)])
+        };
+        let full = emd_star(&p, &q, &d, &geom, Solver::Simplex);
+        let reduced = emd_star_reduced(&p, &q, &d, &geom, Solver::Simplex);
+        prop_assert_eq!(full, reduced, "exact equality (per_bin = {})", per_bin);
     }
 }
