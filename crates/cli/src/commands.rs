@@ -10,7 +10,10 @@ use snd_analysis::{
     select_targets,
 };
 use snd_baselines::{Hamming, QuadForm, StateDistance, WalkDist};
-use snd_core::{auto_tile, OrderedSnd, ShardPlan, SndConfig, SndEngine, TileGrid, TileSet};
+use snd_core::{
+    auto_tile, ApproxConfig, ClusterSpec, OrderedSnd, ShardPlan, SndConfig, SndEngine, TileGrid,
+    TileSet,
+};
 use snd_data::{
     find_scenario, generate_series, registry, simulate_twitter, SyntheticSeries,
     SyntheticSeriesConfig, TwitterSimConfig,
@@ -18,7 +21,7 @@ use snd_data::{
 use snd_models::dynamics::VotingConfig;
 use snd_models::{GroundCostConfig, NetworkState, Opinion};
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, ModelRecord};
 
 /// `--flag value` lookup over raw arguments.
 fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
@@ -30,6 +33,60 @@ fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
 
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Raw `--flag value` lookup (no parsing). [`opt`] silently falls back to
+/// the default on a malformed value; flags where that would mask a user
+/// error (the approximate-tier knobs) go through this and parse explicitly
+/// so `--epsilon abc` is a structured error, not a silent default.
+fn opt_raw<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// Parses the approximate-tier flags: `--approx` opts in (forcing the
+/// sketch tier regardless of graph size), `--epsilon E` sets the certified
+/// relative gap, `--landmarks L` and `--budget B` bound the sketch.
+/// Returns `Ok(None)` when `--approx` is absent — and rejects the
+/// dependent flags in that case, so a typo'd invocation cannot silently
+/// run exact while the user believes an ε is in force.
+fn approx_config(args: &[String]) -> Result<Option<ApproxConfig>, String> {
+    if !flag(args, "--approx") {
+        for name in ["--epsilon", "--landmarks", "--budget"] {
+            if flag(args, name) {
+                return Err(format!("{name} requires --approx"));
+            }
+        }
+        return Ok(None);
+    }
+    let mut approx = ApproxConfig {
+        min_nodes: 0,
+        ..Default::default()
+    };
+    if flag(args, "--epsilon") {
+        let raw = opt_raw(args, "--epsilon").ok_or("--epsilon needs a value")?;
+        approx.epsilon = raw
+            .parse::<f64>()
+            .map_err(|_| format!("bad --epsilon '{raw}' (want a finite number >= 0)"))?;
+    }
+    if flag(args, "--landmarks") {
+        let raw = opt_raw(args, "--landmarks").ok_or("--landmarks needs a value")?;
+        approx.max_landmarks = raw
+            .parse()
+            .map_err(|_| format!("bad --landmarks '{raw}' (want a positive integer)"))?;
+    }
+    if flag(args, "--budget") {
+        let raw = opt_raw(args, "--budget").ok_or("--budget needs a value")?;
+        approx.budget = raw
+            .parse()
+            .map_err(|_| format!("bad --budget '{raw}' (want an integer)"))?;
+    }
+    // Library-level validation (NaN / infinite / negative ε, zero
+    // landmarks) surfaces as the same structured error the API returns.
+    approx.validate().map_err(|e| e.to_string())?;
+    Ok(Some(approx))
 }
 
 /// `snd generate`: writes a synthetic or simulated-Twitter dataset.
@@ -48,16 +105,17 @@ pub fn generate(args: &[String]) -> Result<(), String> {
             edges: sim.graph.edges().collect(),
             states: sim.states.iter().map(|s| s.values()).collect(),
             labels: sim.labels,
+            // The Twitter sim mixes per-event dynamics; no single
+            // parameter set describes the series.
+            model: None,
         }
     } else {
         let steps = opt(args, "--steps").unwrap_or(20usize);
+        let p_nbr = opt(args, "--p-nbr").unwrap_or(0.12);
+        let p_ext = opt(args, "--p-ext").unwrap_or(0.01);
         // Structured validation: a bad --p-nbr/--p-ext split comes back as
         // a printable CLI error, not a library panic.
-        let normal = VotingConfig::new(
-            opt(args, "--p-nbr").unwrap_or(0.12),
-            opt(args, "--p-ext").unwrap_or(0.01),
-        )
-        .map_err(|e| e.to_string())?;
+        let normal = VotingConfig::new(p_nbr, p_ext).map_err(|e| e.to_string())?;
         let anomalous = VotingConfig::new(
             opt(args, "--p-nbr-anomalous").unwrap_or(0.08),
             opt(args, "--p-ext-anomalous").unwrap_or(0.05),
@@ -73,7 +131,13 @@ pub fn generate(args: &[String]) -> Result<(), String> {
             seed,
             ..Default::default()
         });
-        dataset_from_series(&series)
+        dataset_from_series(
+            &series,
+            Some(ModelRecord {
+                family: "voting".into(),
+                params: vec![("p_nbr".into(), p_nbr), ("p_ext".into(), p_ext)],
+            }),
+        )
     };
     dataset.save(&out)?;
     println!(
@@ -86,13 +150,15 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// A dataset in the wire format from any simulated series.
-fn dataset_from_series(series: &SyntheticSeries) -> Dataset {
+/// A dataset in the wire format from any simulated series, carrying the
+/// generating model's parameters when the caller knows them.
+fn dataset_from_series(series: &SyntheticSeries, model: Option<ModelRecord>) -> Dataset {
     Dataset {
         nodes: series.graph.node_count(),
         edges: series.graph.edges().collect(),
         states: series.states.iter().map(|s| s.values()).collect(),
         labels: series.labels.clone(),
+        model,
     }
 }
 
@@ -131,7 +197,18 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let out: String = opt(args, "--out").ok_or("missing --out FILE")?;
 
     let series = scenario.run(seed).map_err(|e| e.to_string())?;
-    let dataset = dataset_from_series(&series);
+    // Record the simulated model so later `--ground icc|ltc` runs reprice
+    // with these exact parameters instead of the family defaults.
+    let record = ModelRecord {
+        family: scenario.model.family().to_string(),
+        params: scenario
+            .model
+            .params()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    };
+    let dataset = dataset_from_series(&series, Some(record));
     dataset.save(&out)?;
     println!(
         "scenario '{}' (model {}, graph {}, seed {seed}): wrote {out}: {} users, {} edges, {} \
@@ -157,27 +234,41 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
 /// nearest ground model: the cascade families to their own ground,
 /// everything else to the model-agnostic penalties.
 ///
-/// The dataset JSON does not record simulation parameters, so each model
-/// is instantiated with its *default* parameters (weighted-cascade /
-/// degree-normalized edges, 0.5 thresholds) — the right model *family*,
-/// not necessarily the exact parameters a custom scenario used.
-/// Recording model parameters in the dataset format is an open ROADMAP
-/// item.
-fn ground_config_for(name: &str, graph: &snd_graph::CsrGraph) -> Result<GroundCostConfig, String> {
+/// When the dataset records its simulated model (`snd simulate` writes a
+/// `"model"` field), the matching ground model is instantiated with the
+/// *recorded* parameters — e.g. an LTC series simulated at threshold 0.35
+/// reprices at 0.35, not the 0.5 default. Datasets without the field (or
+/// simulated under a different family than `--ground` asks for) fall back
+/// to the family defaults (weighted-cascade / degree-normalized edges,
+/// 0.5 thresholds).
+fn ground_config_for(
+    name: &str,
+    graph: &snd_graph::CsrGraph,
+    recorded: Option<&ModelRecord>,
+) -> Result<GroundCostConfig, String> {
     use snd_models::{icc::EdgeActivation, ltc::EdgeWeights, IccParams, LtcParams, SpreadingModel};
+    let recorded_for = |family: &str| recorded.filter(|m| m.family == family);
     match name {
         "agnostic" | "default" | "voting" | "voting-sampled" | "random-activation"
         | "majority-rule" | "stubborn-voter" | "degroot-threshold" | "bounded-confidence" => {
             Ok(GroundCostConfig::default())
         }
+        // ICC's spreading probabilities are fully determined by the graph
+        // (weighted-cascade edges, no free parameters), so recorded and
+        // default parameters coincide.
         "icc" => Ok(GroundCostConfig::with_model(SpreadingModel::Icc(
             IccParams::for_graph(graph, EdgeActivation::WeightedCascade, None, 1e-6)
                 .map_err(|e| e.to_string())?,
         ))),
-        "ltc" => Ok(GroundCostConfig::with_model(SpreadingModel::Ltc(
-            LtcParams::for_graph(graph, EdgeWeights::DegreeNormalized, None, 1e-6)
-                .map_err(|e| e.to_string())?,
-        ))),
+        "ltc" => {
+            let thresholds = recorded_for("ltc")
+                .and_then(|m| m.param("threshold"))
+                .map(|t| vec![t; graph.node_count()]);
+            Ok(GroundCostConfig::with_model(SpreadingModel::Ltc(
+                LtcParams::for_graph(graph, EdgeWeights::DegreeNormalized, thresholds, 1e-6)
+                    .map_err(|e| e.to_string())?,
+            )))
+        }
         other => Err(format!(
             "unknown ground model '{other}' (want agnostic, icc, ltc, or a model family \
              from `snd simulate --list`)"
@@ -185,12 +276,38 @@ fn ground_config_for(name: &str, graph: &snd_graph::CsrGraph) -> Result<GroundCo
     }
 }
 
-/// The engine config for a dataset run, honoring an optional `--ground`.
-fn engine_config(args: &[String], graph: &snd_graph::CsrGraph) -> Result<SndConfig, String> {
-    match opt::<String>(args, "--ground") {
-        Some(name) => Ok(SndConfig::with_ground(ground_config_for(&name, graph)?)),
-        None => Ok(SndConfig::default()),
+/// The engine config for a dataset run, honoring an optional `--ground`,
+/// an optional `--clusters N` (cluster-bank mode instead of the per-bin
+/// default), and the approximate-tier flags (`--approx --epsilon E`).
+fn engine_config(
+    args: &[String],
+    graph: &snd_graph::CsrGraph,
+    recorded: Option<&ModelRecord>,
+) -> Result<SndConfig, String> {
+    let mut config = match opt::<String>(args, "--ground") {
+        Some(name) => SndConfig::with_ground(ground_config_for(&name, graph, recorded)?),
+        None => SndConfig::default(),
+    };
+    if flag(args, "--clusters") {
+        let raw = opt_raw(args, "--clusters").ok_or("--clusters needs a value")?;
+        let clusters: usize = raw
+            .parse()
+            .map_err(|_| format!("bad --clusters '{raw}' (want a positive integer)"))?;
+        if clusters == 0 {
+            return Err("--clusters must be at least 1".into());
+        }
+        config.clusters = ClusterSpec::BfsPartition { clusters };
     }
+    config.approx = approx_config(args)?;
+    if config.approx.is_some() && !matches!(config.clusters, ClusterSpec::PerBin) {
+        // Mirror snd_core::ApproxError::UnsupportedBankMode up front, so
+        // the run fails before any geometry is built rather than silently
+        // staying exact.
+        return Err(
+            "the approximate tier requires per-bin banks; drop --clusters or --approx".into(),
+        );
+    }
+    Ok(config)
 }
 
 /// `snd distance`: all measures between two states of a dataset.
@@ -204,9 +321,22 @@ pub fn distance(args: &[String]) -> Result<(), String> {
     let a = states.get(t1).ok_or(format!("state {t1} out of range"))?;
     let b = states.get(t2).ok_or(format!("state {t2} out of range"))?;
 
-    let engine = SndEngine::new(&graph, engine_config(args, &graph)?);
+    let config = engine_config(args, &graph, dataset.model.as_ref())?;
+    let approx_on = config.approx.is_some();
+    let engine = SndEngine::new(&graph, config);
     println!("n_delta = {}", a.diff_count(b));
-    println!("SND        = {:.4}", engine.distance(a, b));
+    if approx_on {
+        let iv = engine.distance_interval(a, b).map_err(|e| e.to_string())?;
+        println!(
+            "SND        = {:.4} certified in [{:.4}, {:.4}] (width {:.4})",
+            iv.midpoint(),
+            iv.lower,
+            iv.upper,
+            iv.width()
+        );
+    } else {
+        println!("SND        = {:.4}", engine.distance(a, b));
+    }
     println!("hamming    = {:.4}", Hamming.distance(a, b));
     println!("quad-form  = {:.4}", QuadForm::new(&graph).distance(a, b));
     println!("walk-dist  = {:.4}", WalkDist::new(&graph).distance(a, b));
@@ -224,17 +354,34 @@ pub fn anomaly(args: &[String]) -> Result<(), String> {
     }
     // The series below runs through the engine's delta-aware path:
     // consecutive snapshots are priced incrementally (touched-edge costs,
-    // repaired geometry, zero-cost identical transitions).
-    let engine = SndEngine::new(&graph, engine_config(args, &graph)?);
-    let processed = processed_series(&engine.series_distances(&states), &states);
+    // repaired geometry, zero-cost identical transitions). Under --approx
+    // the interval-carrying series path runs instead: each transition is
+    // scored at its certified-interval midpoint and the interval is shown.
+    let config = engine_config(args, &graph, dataset.model.as_ref())?;
+    let approx_on = config.approx.is_some();
+    let engine = SndEngine::new(&graph, config);
+    let (raw, intervals) = if approx_on {
+        let ivs = engine
+            .series_intervals(&states)
+            .map_err(|e| e.to_string())?;
+        let mids = ivs.iter().map(|iv| iv.midpoint()).collect();
+        (mids, Some(ivs))
+    } else {
+        (engine.series_distances(&states), None)
+    };
+    let processed = processed_series(&raw, &states);
     let scores = anomaly_scores(&processed);
     let k =
         opt(args, "--top").unwrap_or_else(|| dataset.labels.iter().filter(|&&l| l).count().max(1));
     println!("{:>4} {:>10} {:>10}  label", "t", "SND", "score");
     for t in 0..processed.len() {
         let label = dataset.labels.get(t).copied().unwrap_or(false);
+        let certified = intervals
+            .as_ref()
+            .map(|ivs| format!(" in [{:.4}, {:.4}]", ivs[t].lower, ivs[t].upper))
+            .unwrap_or_default();
         println!(
-            "{:>4} {:>10.4} {:>10.4}  {}",
+            "{:>4} {:>10.4} {:>10.4}  {}{certified}",
             t,
             processed[t],
             scores[t],
@@ -277,7 +424,11 @@ pub fn shard(args: &[String]) -> Result<(), String> {
     let dataset = Dataset::load(&path)?;
     let graph = dataset.graph();
     let states = dataset.network_states();
-    let engine = SndEngine::new(&graph, SndConfig::default());
+    // --ground/--approx feed the shard fingerprint (it hashes the full
+    // config), so shards priced under different tiers can never merge.
+    let config = engine_config(args, &graph, dataset.model.as_ref())?;
+    let approx_on = config.approx.is_some();
+    let engine = SndEngine::new(&graph, config);
     // Default tile follows the workload shape; every shard of a run
     // derives the same grid as long as all pass the same (or no) --tile.
     // A pre-existing checkpoint wins over the heuristic: resuming a run
@@ -296,12 +447,17 @@ pub fn shard(args: &[String]) -> Result<(), String> {
         .pairwise_tiles_checkpointed(&states, &plan, Path::new(&checkpoint))
         .map_err(|e| e.to_string())?;
     println!(
-        "shard {index}/{count}: {} tile(s) of {} ({} resumed, {} computed) -> {}",
+        "shard {index}/{count}: {} tile(s) of {} ({} resumed, {} computed) -> {}{}",
         run.tiles.tile_count(),
         grid.tile_count(),
         run.resumed,
         run.computed,
-        checkpoint
+        checkpoint,
+        if approx_on {
+            " (approximate tier: entries are certified-interval midpoints)"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -422,4 +578,134 @@ pub fn predict(args: &[String]) -> Result<(), String> {
         candidates
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn approx_flags_parse_and_validate() {
+        assert_eq!(approx_config(&argv(&[])).unwrap(), None);
+        let a = approx_config(&argv(&["--approx"])).unwrap().unwrap();
+        assert_eq!(a.epsilon, ApproxConfig::default().epsilon);
+        assert_eq!(a.min_nodes, 0, "explicit --approx forces the sketch tier");
+        let a = approx_config(&argv(&[
+            "--approx",
+            "--epsilon",
+            "0.1",
+            "--landmarks",
+            "4",
+            "--budget",
+            "9",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(a.epsilon, 0.1);
+        assert_eq!(a.max_landmarks, 4);
+        assert_eq!(a.budget, 9);
+        // ε = 0 is legal: refine to exact.
+        assert!(approx_config(&argv(&["--approx", "--epsilon", "0"])).is_ok());
+    }
+
+    /// Fuzz the approximate-tier flag parser the way `dataset.rs` fuzzes
+    /// `from_json`: every malformed invocation must come back as a
+    /// structured `Err`, never a panic and never a silent default.
+    #[test]
+    fn malformed_approx_flags_surface_structured_errors_not_panics() {
+        let bad: &[&[&str]] = &[
+            &["--approx", "--epsilon"],           // missing value
+            &["--approx", "--epsilon", "abc"],    // non-numeric
+            &["--approx", "--epsilon", "NaN"],    // NaN
+            &["--approx", "--epsilon", "nan"],    // NaN (lowercase)
+            &["--approx", "--epsilon", "inf"],    // infinite
+            &["--approx", "--epsilon", "-0.5"],   // negative
+            &["--approx", "--epsilon", "-1e308"], // large negative
+            &["--approx", "--epsilon", ""],       // empty value
+            &["--approx", "--epsilon", "0.5.5"],  // double dot
+            &["--approx", "--epsilon", "0,5"],    // locale comma
+            &["--approx", "--landmarks"],         // missing value
+            &["--approx", "--landmarks", "0"],    // zero landmarks
+            &["--approx", "--landmarks", "-3"],   // negative
+            &["--approx", "--landmarks", "4.5"],  // fractional
+            &["--approx", "--landmarks", "many"], // non-numeric
+            &["--approx", "--budget"],            // missing value
+            &["--approx", "--budget", "-1"],      // negative
+            &["--approx", "--budget", "1e3"],     // float syntax
+            &["--epsilon", "0.1"],                // --epsilon without --approx
+            &["--landmarks", "4"],                // --landmarks without --approx
+            &["--budget", "2"],                   // --budget without --approx
+        ];
+        for case in bad {
+            let args = argv(case);
+            let err = approx_config(&args);
+            assert!(err.is_err(), "{case:?} must be rejected, got {err:?}");
+            // The error is printable and self-descriptive.
+            assert!(!err.unwrap_err().is_empty());
+        }
+        // Every prefix truncation of a valid invocation either parses or
+        // errors cleanly — no index panics on dangling flags.
+        let full = argv(&[
+            "--approx",
+            "--epsilon",
+            "0.05",
+            "--landmarks",
+            "8",
+            "--budget",
+            "3",
+        ]);
+        for len in 0..=full.len() {
+            let _ = approx_config(&full[..len]);
+        }
+    }
+
+    #[test]
+    fn recorded_ltc_parameters_change_the_ground_pricing() {
+        let g = snd_graph::generators::path_graph(6);
+        let recorded = ModelRecord {
+            family: "ltc".into(),
+            params: vec![("threshold".into(), 0.9)],
+        };
+        let default = ground_config_for("ltc", &g, None).unwrap();
+        let exact = ground_config_for("ltc", &g, Some(&recorded)).unwrap();
+        // The recorded threshold must actually land in the LTC params (the
+        // configs differ), while a record from a *different* family leaves
+        // the requested ground model at its defaults.
+        assert_ne!(format!("{default:?}"), format!("{exact:?}"));
+        assert!(format!("{exact:?}").contains("0.9"), "{exact:?}");
+        let other_family = ModelRecord {
+            family: "icc".into(),
+            params: vec![("threshold".into(), 0.9)],
+        };
+        let fallback = ground_config_for("ltc", &g, Some(&other_family)).unwrap();
+        assert_eq!(format!("{default:?}"), format!("{fallback:?}"));
+        // Family-name grounds stay parameter-free, with or without record.
+        let agn = ground_config_for("agnostic", &g, Some(&recorded)).unwrap();
+        assert_eq!(
+            format!("{agn:?}"),
+            format!("{:?}", GroundCostConfig::default())
+        );
+    }
+
+    #[test]
+    fn approx_rejects_cluster_bank_modes() {
+        let g = snd_graph::generators::path_graph(6);
+        // --clusters alone is fine (cluster-bank exact mode)...
+        let ok = engine_config(&argv(&["--clusters", "2"]), &g, None).unwrap();
+        assert!(matches!(
+            ok.clusters,
+            ClusterSpec::BfsPartition { clusters: 2 }
+        ));
+        // ...but combining it with --approx is a structured error.
+        let err = engine_config(&argv(&["--approx", "--clusters", "2"]), &g, None).unwrap_err();
+        assert!(err.contains("per-bin"), "{err}");
+        // Malformed cluster counts error out too.
+        assert!(engine_config(&argv(&["--clusters", "0"]), &g, None).is_err());
+        assert!(engine_config(&argv(&["--clusters", "two"]), &g, None).is_err());
+        assert!(engine_config(&argv(&["--clusters"]), &g, None).is_err());
+    }
 }

@@ -2,12 +2,34 @@
 //!
 //! The encoder/decoder is hand-rolled (the build environment has no serde):
 //! the format is plain JSON — `{"nodes": N, "edges": [[u, v], ...],
-//! "states": [[1, 0, -1, ...], ...], "labels": [true, ...]}` — and the
-//! parser accepts arbitrary whitespace and field order, so files written by
-//! serde-based tools remain readable.
+//! "states": [[1, 0, -1, ...], ...], "labels": [true, ...], "model":
+//! {"family": "ltc", "params": {"threshold": 0.35}}}` — and the parser
+//! accepts arbitrary whitespace and field order, so files written by
+//! serde-based tools remain readable. The `model` field is optional
+//! (datasets predating it still load): `snd simulate` records the
+//! simulated model's family and free parameters so `--ground icc|ltc`
+//! reprices with the *simulated* parameters instead of family defaults.
 
 use snd_graph::CsrGraph;
 use snd_models::NetworkState;
+
+/// The opinion-dynamics model a dataset was simulated under: the family
+/// name (matching `snd simulate --list`) plus its free parameters as
+/// named finite numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRecord {
+    /// Model family, e.g. `"voting"`, `"icc"`, `"ltc"`.
+    pub family: String,
+    /// Named free parameters, e.g. `("threshold", 0.35)`.
+    pub params: Vec<(String, f64)>,
+}
+
+impl ModelRecord {
+    /// Looks up one named parameter.
+    pub fn param(&self, name: &str) -> Option<f64> {
+        self.params.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+}
 
 /// Serialized dataset: a graph, a state series, and optional anomaly
 /// labels.
@@ -21,6 +43,8 @@ pub struct Dataset {
     pub states: Vec<Vec<i8>>,
     /// Per-transition anomaly labels (may be empty).
     pub labels: Vec<bool>,
+    /// The dynamics model the series was simulated under, if recorded.
+    pub model: Option<ModelRecord>,
 }
 
 impl Dataset {
@@ -81,7 +105,22 @@ impl Dataset {
             }
             out.push_str(if *l { "true" } else { "false" });
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(model) = &self.model {
+            out.push_str(",\"model\":{\"family\":\"");
+            out.push_str(&model.family);
+            out.push_str("\",\"params\":{");
+            for (i, (k, v)) in model.params.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                // `{}` on a finite f64 is the shortest decimal that parses
+                // back to the same bits, so parameters round-trip exactly.
+                out.push_str(&format!("\"{k}\":{v}"));
+            }
+            out.push_str("}}");
+        }
+        out.push('}');
         out
     }
 
@@ -92,6 +131,7 @@ impl Dataset {
         let mut edges: Vec<(u32, u32)> = Vec::new();
         let mut states: Vec<Vec<i8>> = Vec::new();
         let mut labels: Vec<bool> = Vec::new();
+        let mut model: Option<ModelRecord> = None;
 
         p.expect('{')?;
         if !p.peek_is('}') {
@@ -132,6 +172,7 @@ impl Dataset {
                         })?;
                     }
                     "labels" => labels = p.array(|p| p.boolean())?,
+                    "model" => model = Some(p.model_record()?),
                     other => return Err(format!("unknown field {other:?}")),
                 }
                 if p.peek_is(',') {
@@ -160,6 +201,7 @@ impl Dataset {
             edges,
             states,
             labels,
+            model,
         })
     }
 }
@@ -249,6 +291,72 @@ impl<'a> Parser<'a> {
             .map_err(|_| format!("expected integer at byte {start}"))
     }
 
+    /// JSON number as a finite `f64` (integer, fraction, or exponent
+    /// form). Rejects non-finite results — `1e999` overflows to infinity
+    /// under `str::parse`, and a non-finite model parameter is a corrupt
+    /// file, not a value any dynamics model accepts.
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            _ => Err(format!("expected finite number at byte {start}")),
+        }
+    }
+
+    /// The `"model"` object: `{"family": NAME, "params": {KEY: NUM, ...}}`.
+    fn model_record(&mut self) -> Result<ModelRecord, String> {
+        let mut family: Option<String> = None;
+        let mut params: Vec<(String, f64)> = Vec::new();
+        self.expect('{')?;
+        if !self.peek_is('}') {
+            loop {
+                let key = self.string()?;
+                self.expect(':')?;
+                match key.as_str() {
+                    "family" => family = Some(self.string()?),
+                    "params" => {
+                        self.expect('{')?;
+                        if !self.peek_is('}') {
+                            loop {
+                                let name = self.string()?;
+                                self.expect(':')?;
+                                let value = self.number()?;
+                                params.push((name, value));
+                                if self.peek_is(',') {
+                                    self.expect(',')?;
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect('}')?;
+                    }
+                    other => return Err(format!("unknown model field {other:?}")),
+                }
+                if self.peek_is(',') {
+                    self.expect(',')?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect('}')?;
+        let family = family.ok_or("model record missing field \"family\"")?;
+        Ok(ModelRecord { family, params })
+    }
+
     fn boolean(&mut self) -> Result<bool, String> {
         self.skip_ws();
         for (lit, value) in [("true", true), ("false", false)] {
@@ -293,6 +401,10 @@ mod tests {
             edges: vec![(0, 1), (1, 2)],
             states: vec![vec![1, 0, -1], vec![0, 0, 1]],
             labels: vec![true],
+            model: Some(ModelRecord {
+                family: "ltc".into(),
+                params: vec![("threshold".into(), 0.35)],
+            }),
         }
     }
 
@@ -304,6 +416,40 @@ mod tests {
         assert_eq!(back.edges, d.edges);
         assert_eq!(back.states, d.states);
         assert_eq!(back.labels, d.labels);
+        assert_eq!(back.model, d.model);
+    }
+
+    #[test]
+    fn model_params_roundtrip_exactly() {
+        // Awkward but legal f64s survive the decimal round-trip bit-exactly
+        // (`{}` prints the shortest representation that parses back to the
+        // same value), and exponent notation is accepted on input.
+        let mut d = sample();
+        d.model = Some(ModelRecord {
+            family: "degroot-threshold".into(),
+            params: vec![
+                ("susceptibility".into(), 0.1 + 0.2),
+                ("threshold".into(), 1.0 / 3.0),
+                ("tiny".into(), 5e-324),
+            ],
+        });
+        let back = Dataset::from_json(&d.to_json()).unwrap();
+        assert_eq!(back.model, d.model);
+        let exp = Dataset::from_json(
+            r#"{"nodes":1,"model":{"family":"icc","params":{"eps":1e-6,"big":2.5E+2}}}"#,
+        )
+        .unwrap();
+        let m = exp.model.unwrap();
+        assert_eq!(m.param("eps"), Some(1e-6));
+        assert_eq!(m.param("big"), Some(250.0));
+        assert_eq!(m.param("absent"), None);
+    }
+
+    #[test]
+    fn datasets_without_a_model_field_still_load() {
+        let text = r#"{"nodes":2,"edges":[[0,1]],"states":[[1,-1]]}"#;
+        let d = Dataset::from_json(text).unwrap();
+        assert!(d.model.is_none(), "model defaults to unrecorded");
     }
 
     #[test]
@@ -350,6 +496,30 @@ mod tests {
             ("bad boolean literal", r#"{"nodes":1,"labels":[maybe]}"#),
             ("edge missing endpoint", r#"{"nodes":2,"edges":[[0]]}"#),
             ("negative edge endpoint", r#"{"nodes":2,"edges":[[0,-1]]}"#),
+            (
+                "model missing family",
+                r#"{"nodes":1,"model":{"params":{}}}"#,
+            ),
+            (
+                "unknown model field",
+                r#"{"nodes":1,"model":{"family":"ltc","mystery":1}}"#,
+            ),
+            (
+                "non-numeric model param",
+                r#"{"nodes":1,"model":{"family":"ltc","params":{"threshold":"high"}}}"#,
+            ),
+            (
+                "NaN model param",
+                r#"{"nodes":1,"model":{"family":"ltc","params":{"threshold":NaN}}}"#,
+            ),
+            (
+                "overflowing model param",
+                r#"{"nodes":1,"model":{"family":"ltc","params":{"threshold":1e999}}}"#,
+            ),
+            (
+                "model params not an object",
+                r#"{"nodes":1,"model":{"family":"ltc","params":[0.5]}}"#,
+            ),
         ] {
             let err = Dataset::from_json(text).expect_err(name);
             assert!(!err.is_empty(), "{name}: error message must not be empty");

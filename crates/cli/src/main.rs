@@ -8,6 +8,7 @@
 //!              --seed 3 --out data.json                  # any dynamics model
 //! snd distance --data data.json --t1 0 --t2 1            # all measures
 //! snd distance --data data.json --ground icc             # ICC ground costs
+//! snd distance --data data.json --approx --epsilon 0.05  # certified interval
 //! snd anomaly --data data.json                           # score the series
 //! snd predict --data data.json                           # hide & recover opinions
 //! snd shard --data data.json --shard 0/2 \
@@ -58,11 +59,14 @@ fn print_usage() {
          \u{20}  snd generate [--nodes N] [--steps S] [--twitter] [--seed K] --out FILE\n\
          \u{20}  snd simulate --scenario NAME [--nodes N] [--steps T] [--seed S] --out FILE\n\
          \u{20}  snd simulate --list\n\
-         \u{20}  snd distance --data FILE [--t1 I] [--t2 J] [--ground MODEL]\n\
-         \u{20}  snd anomaly  --data FILE [--top K] [--ground MODEL]\n\
+         \u{20}  snd distance --data FILE [--t1 I] [--t2 J] [--ground MODEL] [APPROX]\n\
+         \u{20}  snd anomaly  --data FILE [--top K] [--ground MODEL] [APPROX]\n\
          \u{20}      (--ground: agnostic | icc | ltc | a model family from --list)\n\
          \u{20}  snd predict  --data FILE [--targets K] [--candidates C]\n\
-         \u{20}  snd shard    --data FILE --shard I/N --checkpoint FILE [--tile T]\n\
-         \u{20}  snd shard merge --out FILE PART...\n"
+         \u{20}  snd shard    --data FILE --shard I/N --checkpoint FILE [--tile T] [APPROX]\n\
+         \u{20}  snd shard merge --out FILE PART...\n\
+         \n\
+         APPROX (certified [lower, upper] intervals instead of exact SND):\n\
+         \u{20}  --approx [--epsilon E] [--landmarks L] [--budget B]\n"
     );
 }

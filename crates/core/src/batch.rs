@@ -170,6 +170,12 @@ impl<'g> SndEngine<'g> {
             2 => (gb, b, a, &gb.pos, Opinion::Positive),
             _ => (gb, b, a, &gb.neg, Opinion::Negative),
         };
+        // Same tier routing as `SndEngine::terms`: an active approximate
+        // tier prices the term as its certified-interval midpoint.
+        if let Some(a_cfg) = self.approx_if_active() {
+            let (lo, hi) = self.approx_term(geom, Some(&ground.cache), p, q, op, &a_cfg);
+            return 0.5 * (lo + hi);
+        }
         sparse::emd_star_term(
             self.graph(),
             self.clustering(),

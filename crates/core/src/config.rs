@@ -86,6 +86,13 @@ pub struct SndConfig {
     /// otherwise — see `snd_transport::select_solver`); pin a concrete
     /// solver for cross-validation runs.
     pub solver: Solver,
+    /// Optional approximate geometry tier (landmark sketches + coarsening +
+    /// ε-refinement, see [`crate::approx`]). `None` (the default) keeps
+    /// every query exact. `Some(_)` routes per-bin comparisons on graphs
+    /// with at least [`ApproxConfig::min_nodes`](crate::ApproxConfig) nodes
+    /// through the sketch tier; smaller graphs stay exact
+    /// (`Solver::Auto`-style routing).
+    pub approx: Option<crate::approx::ApproxConfig>,
 }
 
 impl Default for SndConfig {
@@ -98,6 +105,7 @@ impl Default for SndConfig {
             per_bin_gamma: 1,
             scale: snd_emd::DEFAULT_SCALE,
             solver: Solver::Auto,
+            approx: None,
         }
     }
 }

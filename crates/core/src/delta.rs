@@ -50,11 +50,12 @@
 //! across every registry scenario (`tests/delta_series.rs`).
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use rayon::prelude::*;
 use snd_graph::{
-    dial_reverse_scratch, dial_scratch, repair_row, CostChange, NodeId, RepairScratch, SsspScratch,
-    UNREACHABLE,
+    dial_reverse_scratch, dial_scratch, repair_row, CostChange, CsrGraph, NodeId, RepairScratch,
+    SsspScratch, UNREACHABLE,
 };
 use snd_models::{edge_costs, update_edge_costs, NetworkState, Opinion, StateDelta};
 use snd_transport::DenseCost;
@@ -74,15 +75,73 @@ thread_local! {
 }
 
 /// The cached, repairable geometry of one `(state, opinion)` pair.
+///
+/// Rows are `Arc`-shared: a cluster whose rows a transition provably
+/// cannot perturb (see [`ChangeIndex`]) carries its previous rows into
+/// the next bundle as an `O(1)` reference bump instead of an `O(n)` copy.
 struct OpGeometry {
     geom: GroundGeometry,
     /// Per-cluster clamped multi-source SSSP row (empty when rows are not
     /// cached: per-bin mode, lossy clamp domain, `HalfExactDiameter`).
-    cluster_rows: Vec<Vec<u32>>,
+    cluster_rows: Vec<Arc<Vec<u32>>>,
     /// Eccentricity-policy representative rows (forward / reverse), one
     /// pair per cluster; empty unless the policy is `Eccentricity`.
-    ecc_fwd: Vec<Vec<u32>>,
-    ecc_rev: Vec<Vec<u32>>,
+    ecc_fwd: Vec<Arc<Vec<u32>>>,
+    ecc_rev: Vec<Arc<Vec<u32>>>,
+}
+
+/// Per-transition index of the changed edges in relaxation terms:
+/// `(tail, head, old, new)` per change, endpoints precomputed once in
+/// forward orientation. High-cluster-count configs previously paid an
+/// `O(n)` row clone plus a [`repair_row`] invocation per cluster per
+/// transition just to *discover* that the batch was a no-op for that
+/// cluster; [`fires`](ChangeIndex::fires) discovers it in `O(|changes|)`
+/// without touching the row, so unchanged clusters are skipped outright.
+struct ChangeIndex {
+    entries: Vec<(NodeId, NodeId, u32, u32)>,
+}
+
+impl ChangeIndex {
+    fn new(g: &CsrGraph, changes: &[CostChange], new_costs: &[u32]) -> ChangeIndex {
+        ChangeIndex {
+            entries: changes
+                .iter()
+                .map(|&(e, old)| {
+                    (
+                        g.edge_source(e),
+                        g.edge_target(e),
+                        old,
+                        new_costs[e as usize],
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether any change in the batch can perturb `dist` (a clamped row
+    /// in the direction given by `reverse`). `false` guarantees
+    /// [`repair_row`] would report zero moved nodes and leave the row
+    /// bit-identical, because these are exactly its trigger conditions:
+    /// a *decrease* does work only when it strictly improves its head
+    /// from the current tail distance, an *increase* only when the edge
+    /// supported its head's distance (`dist[tail] + old == dist[head]`).
+    /// With no trigger, the repair's affected set and settle heap both
+    /// stay empty and the row is untouched.
+    fn fires(&self, dist: &[u32], inf: u32, reverse: bool) -> bool {
+        self.entries.iter().any(|&(s, t, old, new)| {
+            let (tail, head) = if reverse { (t, s) } else { (s, t) };
+            let dt = dist[tail as usize];
+            if dt == inf {
+                return false; // nothing propagates through an unreachable tail
+            }
+            let dh = dist[head as usize];
+            if new < old {
+                dt.saturating_add(new) < dh
+            } else {
+                dh != inf && dt.saturating_add(old) == dh
+            }
+        })
+    }
 }
 
 /// Clamps a raw scratch distance into the bounded domain.
@@ -257,11 +316,11 @@ impl OpGeometry {
                     .collect(),
             );
             if keep_rows {
-                cluster_rows.push(out.row);
+                cluster_rows.push(Arc::new(out.row));
             }
             if want_ecc {
-                ecc_fwd.push(out.ecc_fwd);
-                ecc_rev.push(out.ecc_rev);
+                ecc_fwd.push(Arc::new(out.ecc_fwd));
+                ecc_rev.push(Arc::new(out.ecc_rev));
             }
         }
 
@@ -298,62 +357,70 @@ impl OpGeometry {
         debug_assert!(!self.geom.per_bin && self.cluster_rows.len() == nc);
 
         struct ClusterOut {
-            row: Vec<u32>,
+            row: Arc<Vec<u32>>,
             min_row: Option<Vec<u32>>, // None: unchanged, reuse previous
             base: Option<u32>,
-            ecc_fwd: Vec<u32>,
-            ecc_rev: Vec<u32>,
+            ecc_fwd: Arc<Vec<u32>>,
+            ecc_rev: Arc<Vec<u32>>,
         }
         let want_ecc = matches!(config.gamma, GammaPolicy::Eccentricity);
+        // Index the batch once; each cluster then answers "can any change
+        // touch my rows?" in O(|changes|) instead of cloning and repairing
+        // just to find out.
+        let index = ChangeIndex::new(g, changes, &new_costs);
+        let empty = Arc::new(Vec::new());
         let per_cluster: Vec<ClusterOut> = (0..nc)
             .into_par_iter()
             .map(|c| {
                 REPAIR_SCRATCH.with(|cell| {
                     let scratch = &mut cell.borrow_mut();
                     let members = clustering.members(c as u32);
-                    let mut row = self.cluster_rows[c].clone();
-                    let moved = repair_row(
-                        g,
-                        &new_costs,
-                        changes,
-                        members,
-                        false,
-                        unreachable,
-                        &mut row,
-                        scratch,
-                    );
-                    let min_row =
-                        (moved > 0).then(|| min_reduce(&row, &clustering.labels, nc, unreachable));
-                    let (base, ecc_fwd, ecc_rev) = if want_ecc {
-                        let rep = members[0];
-                        let mut fwd = self.ecc_fwd[c].clone();
-                        let mut rev = self.ecc_rev[c].clone();
-                        let moved_f = repair_row(
+                    let (row, min_row) = if index.fires(&self.cluster_rows[c], unreachable, false) {
+                        let mut row = (*self.cluster_rows[c]).clone();
+                        let moved = repair_row(
                             g,
                             &new_costs,
                             changes,
-                            &[rep],
+                            members,
                             false,
                             unreachable,
-                            &mut fwd,
+                            &mut row,
                             scratch,
                         );
-                        let moved_r = repair_row(
-                            g,
-                            &new_costs,
-                            changes,
-                            &[rep],
-                            true,
-                            unreachable,
-                            &mut rev,
-                            scratch,
-                        );
+                        let min_row = (moved > 0)
+                            .then(|| min_reduce(&row, &clustering.labels, nc, unreachable));
+                        (Arc::new(row), min_row)
+                    } else {
+                        // Provable no-op: share the previous row (O(1)).
+                        (Arc::clone(&self.cluster_rows[c]), None)
+                    };
+                    let (base, ecc_fwd, ecc_rev) = if want_ecc {
+                        let rep = members[0];
+                        let mut repair_ecc = |prev: &Arc<Vec<u32>>, reverse: bool| {
+                            if !index.fires(prev, unreachable, reverse) {
+                                return (Arc::clone(prev), 0);
+                            }
+                            let mut r = (**prev).clone();
+                            let moved = repair_row(
+                                g,
+                                &new_costs,
+                                changes,
+                                &[rep],
+                                reverse,
+                                unreachable,
+                                &mut r,
+                                scratch,
+                            );
+                            (Arc::new(r), moved)
+                        };
+                        let (fwd, moved_f) = repair_ecc(&self.ecc_fwd[c], false);
+                        let (rev, moved_r) = repair_ecc(&self.ecc_rev[c], true);
                         let base = (moved_f + moved_r > 0)
                             .then(|| member_ecc(&fwd, members).max(member_ecc(&rev, members)));
                         (base, fwd, rev)
                     } else {
                         // Constant policy: γ never moves.
-                        (None, Vec::new(), Vec::new())
+                        (None, Arc::clone(&empty), Arc::clone(&empty))
                     };
                     ClusterOut {
                         row,
@@ -705,6 +772,46 @@ mod tests {
         assert_eq!(delta[0], 0.0);
         assert_eq!(delta[2], 0.0);
         assert_eq!(delta, engine.series_distances_seq(&states));
+    }
+
+    #[test]
+    fn untouched_clusters_share_rows_instead_of_recloning() {
+        // Across a low-churn series, clusters whose rows a transition
+        // provably cannot perturb must carry the *same* allocation into
+        // the next bundle (Arc identity), not a fresh copy — while the
+        // geometry stays bit-identical to a from-scratch build.
+        let mut rng = SmallRng::seed_from_u64(77);
+        let g = barabasi_albert(48, 2, &mut rng);
+        let states = random_series(48, 10, 13);
+        let config = SndConfig {
+            clusters: ClusterSpec::BfsPartition { clusters: 8 },
+            gamma: GammaPolicy::Eccentricity,
+            ..Default::default()
+        };
+        let engine = SndEngine::new(&g, config);
+        let mut cache = DeltaStateGeometry::fresh(&engine, &states[0]);
+        let mut shared = 0usize;
+        let mut total = 0usize;
+        for t in 1..states.len() {
+            let delta = StateDelta::between(&g, &states[t - 1], &states[t]);
+            let next = cache.step(&engine, &states[t], &delta);
+            for (a, b) in cache.pos.cluster_rows.iter().zip(&next.pos.cluster_rows) {
+                total += 1;
+                if std::sync::Arc::ptr_eq(a, b) {
+                    shared += 1;
+                }
+            }
+            assert_eq!(
+                next.pos.geom,
+                engine.geometry_seq(&states[t], Opinion::Positive),
+                "t={t}"
+            );
+            cache = next;
+        }
+        assert!(
+            shared > 0,
+            "no cluster row was ever shared across {total} cluster-steps"
+        );
     }
 
     #[test]

@@ -21,13 +21,16 @@
 //! caller-participation guarantee means inner fan-outs always progress
 //! even with every worker busy on outer terms.
 
+use std::sync::OnceLock;
+
 use snd_graph::{bfs_partition, label_propagation, whole_graph_cluster, Clustering, CsrGraph};
 use snd_models::{NetworkState, Opinion};
 
+use crate::approx::{ApproxConfig, ApproxCtx, ApproxError, SndInterval};
 use crate::banks::{compute_geometry, GroundGeometry};
 use crate::config::{ClusterSpec, SndConfig};
 use crate::sparse::RowCache;
-use crate::{dense, sparse};
+use crate::{approx, dense, sparse};
 
 /// The four EMD\* terms of Eq. 3.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -116,6 +119,9 @@ pub struct SndEngine<'g> {
     graph: &'g CsrGraph,
     config: SndConfig,
     clustering: Clustering,
+    /// Lazily-built approximate-tier context (landmarks + quotient
+    /// partition) — topology-only, so one build serves every query.
+    approx_ctx: OnceLock<ApproxCtx>,
 }
 
 impl<'g> SndEngine<'g> {
@@ -141,6 +147,7 @@ impl<'g> SndEngine<'g> {
             graph,
             config,
             clustering,
+            approx_ctx: OnceLock::new(),
         }
     }
 
@@ -307,11 +314,20 @@ impl<'g> SndEngine<'g> {
         geoms: [&GroundGeometry; 4],
         caches: [Option<&RowCache>; 4],
     ) -> SndBreakdown {
+        // `Solver::Auto`-style tier routing: when the approximate tier is
+        // active for this engine (configured, supported bank mode, graph at
+        // least `min_nodes`), every scalar term is the midpoint of its
+        // certified interval; otherwise the exact sparse path runs.
+        let approx = self.approx_if_active();
         let term = |geom: &GroundGeometry,
                     cache: Option<&RowCache>,
                     p: &NetworkState,
                     q: &NetworkState,
                     op: Opinion| {
+            if let Some(a_cfg) = &approx {
+                let (lo, hi) = self.approx_term(geom, cache, p, q, op, a_cfg);
+                return 0.5 * (lo + hi);
+            }
             sparse::emd_star_term(
                 self.graph,
                 &self.clustering,
@@ -342,6 +358,159 @@ impl<'g> SndEngine<'g> {
             forward_neg,
             backward_pos,
             backward_neg,
+        }
+    }
+
+    /// The approx config when the approximate tier handles this engine's
+    /// *scalar* queries ([`distance`](Self::distance), series, pairwise,
+    /// tiles): configured, valid, per-bin banks, and the graph at least
+    /// `min_nodes` nodes. `None` keeps everything exact. The `*_seq`
+    /// reference paths and [`distance_dense`](Self::distance_dense) never
+    /// route here — they stay exact oracles.
+    pub(crate) fn approx_if_active(&self) -> Option<ApproxConfig> {
+        let a = self.config.approx.as_ref()?;
+        if a.validate().is_err()
+            || approx::unsupported_bank_mode(&self.config).is_some()
+            || self.graph.node_count() < a.min_nodes
+        {
+            return None;
+        }
+        Some(a.clone())
+    }
+
+    /// The lazily-built sketch context (landmark set + quotient partition).
+    fn approx_ctx(&self) -> &ApproxCtx {
+        self.approx_ctx.get_or_init(|| {
+            let a = self.config.approx.clone().unwrap_or_default();
+            approx::build_ctx(self.graph, &a)
+        })
+    }
+
+    /// Certified `[lower, upper]` for one EMD\* term via the sketch tier.
+    /// Falls back to a term-local row cache when the caller has none (the
+    /// interval is certified either way; a shared cache just reuses SSSPs).
+    pub(crate) fn approx_term(
+        &self,
+        geom: &GroundGeometry,
+        cache: Option<&RowCache>,
+        p: &NetworkState,
+        q: &NetworkState,
+        op: Opinion,
+        approx_cfg: &ApproxConfig,
+    ) -> (f64, f64) {
+        let run = |c: &RowCache| {
+            approx::emd_star_term_interval(
+                self.graph,
+                &self.clustering,
+                self.approx_ctx(),
+                geom,
+                p,
+                q,
+                op,
+                &self.config,
+                approx_cfg,
+                c,
+            )
+        };
+        match cache {
+            Some(c) => run(c),
+            None => run(&RowCache::new(self.graph.node_count())),
+        }
+    }
+
+    /// Certified SND interval `lower ≤ SND(a, b) ≤ upper` via the
+    /// approximate tier (landmark sketches + coarsening + ε-refinement,
+    /// see [`crate::approx`]).
+    ///
+    /// This is the *explicit* interval query: it runs the sketch machinery
+    /// regardless of [`ApproxConfig::min_nodes`] (tiny reduced problems
+    /// still short-circuit to exact, zero-width intervals), and uses
+    /// [`ApproxConfig::default`] when the engine has no approx config.
+    /// Errors when ε is invalid or the bank mode is not per-bin.
+    pub fn distance_interval(
+        &self,
+        a: &NetworkState,
+        b: &NetworkState,
+    ) -> Result<SndInterval, ApproxError> {
+        let approx_cfg = self.validated_approx()?;
+        let (ga, gb) = rayon::join(|| self.state_geometry(a), || self.state_geometry(b));
+        Ok(self.interval_with(a, b, &ga, &gb, &approx_cfg))
+    }
+
+    /// Certified intervals for every adjacent transition of a series —
+    /// the interval-carrying analogue of
+    /// [`series_distances`](Self::series_distances). Walks the series with
+    /// at most two geometry bundles live, reusing each shared ground
+    /// state's SSSP rows across its two transitions.
+    pub fn series_intervals(
+        &self,
+        states: &[NetworkState],
+    ) -> Result<Vec<SndInterval>, ApproxError> {
+        let approx_cfg = self.validated_approx()?;
+        if states.len() < 2 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(states.len() - 1);
+        let mut prev = self.state_geometry(&states[0]);
+        for t in 1..states.len() {
+            if states[t - 1] == states[t] {
+                out.push(SndInterval {
+                    lower: 0.0,
+                    upper: 0.0,
+                });
+                continue;
+            }
+            let cur = self.state_geometry(&states[t]);
+            out.push(self.interval_with(&states[t - 1], &states[t], &prev, &cur, &approx_cfg));
+            prev = cur;
+        }
+        Ok(out)
+    }
+
+    /// The engine's approx config (or the default), validated for interval
+    /// queries: ε well-formed, bank mode per-bin.
+    fn validated_approx(&self) -> Result<ApproxConfig, ApproxError> {
+        let approx_cfg = self.config.approx.clone().unwrap_or_default();
+        approx_cfg.validate()?;
+        if let Some(mode) = approx::unsupported_bank_mode(&self.config) {
+            return Err(ApproxError::UnsupportedBankMode(mode));
+        }
+        Ok(approx_cfg)
+    }
+
+    /// Sums the four per-term intervals into the Eq. 3 SND interval
+    /// (`½·Σ` of each envelope — interval arithmetic over independent
+    /// certified bounds). Terms run concurrently like
+    /// [`terms`](Self::terms).
+    fn interval_with(
+        &self,
+        a: &NetworkState,
+        b: &NetworkState,
+        ga: &StateGeometry,
+        gb: &StateGeometry,
+        approx_cfg: &ApproxConfig,
+    ) -> SndInterval {
+        let term =
+            |geom: &GroundGeometry, cache: &RowCache, p: &NetworkState, q: &NetworkState, op| {
+                self.approx_term(geom, Some(cache), p, q, op, approx_cfg)
+            };
+        let ((fp, fn_), (bp, bn)) = rayon::join(
+            || {
+                rayon::join(
+                    || term(&ga.pos, &ga.cache, a, b, Opinion::Positive),
+                    || term(&ga.neg, &ga.cache, a, b, Opinion::Negative),
+                )
+            },
+            || {
+                rayon::join(
+                    || term(&gb.pos, &gb.cache, b, a, Opinion::Positive),
+                    || term(&gb.neg, &gb.cache, b, a, Opinion::Negative),
+                )
+            },
+        );
+        SndInterval {
+            lower: 0.5 * (fp.0 + fn_.0 + bp.0 + bn.0),
+            upper: 0.5 * (fp.1 + fn_.1 + bp.1 + bn.1),
         }
     }
 

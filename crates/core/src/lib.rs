@@ -57,7 +57,33 @@
 //! `HalfExactDiameter` γ policy (whose per-member SSSPs are not cached).
 //! Measured effect on the 10k-node series workload: `BENCH_series.json`
 //! (regenerate with `cargo bench -p snd-bench --bench delta_series`).
+//!
+//! # The approximate tier (million-node graphs)
+//!
+//! Both paths above are exact, and both spend at least one bounded SSSP
+//! per differing user — past ~10⁵ nodes that sweep dominates. Setting
+//! [`SndConfig::approx`] ([`ApproxConfig`]) enables the third tier
+//! (module [`approx`]): landmark SSSP sketches bound node-to-node
+//! distances by triangle-inequality envelopes, differing users are
+//! contracted into quotient-graph clusters, each EMD* term is priced
+//! **twice** — once over the lower envelope, once over the upper — and
+//! the worst cluster is split and re-priced until the certified relative
+//! gap meets `epsilon` (`epsilon = 0` refines all the way to exact).
+//!
+//! The result is an interval, not a point: [`SndEngine::distance_interval`]
+//! and [`SndEngine::series_intervals`] return [`SndInterval`] with the
+//! exact SND proven inside `[lower, upper]` (property-tested against the
+//! exact tier in `tests/approx_bounds.rs`). Scalar entry points
+//! ([`SndEngine::distance`], [`SndEngine::series_distances`], the shard
+//! tiles) return interval midpoints when the tier is active — active
+//! meaning `approx` is set, banks are per-bin, and the graph has at
+//! least [`ApproxConfig::min_nodes`] nodes. The reference paths
+//! ([`SndEngine::distance_dense`], the `*_seq` variants) never
+//! approximate, so exactness tests remain meaningful. Tier selection in
+//! short: small graph → exact; series → delta; huge graph + `approx` →
+//! certified intervals.
 
+pub mod approx;
 pub mod banks;
 pub mod batch;
 pub mod config;
@@ -68,6 +94,7 @@ pub mod ordered;
 pub mod shard;
 pub mod sparse;
 
+pub use approx::{ApproxConfig, ApproxError, SndInterval};
 pub use banks::GroundGeometry;
 pub use batch::DistanceMatrix;
 pub use config::{ClusterSpec, GammaPolicy, SndConfig};

@@ -115,7 +115,11 @@ impl RowCache {
         (op_bit << 1) | usize::from(reverse)
     }
 
-    fn get_or_compute(
+    /// Row lookup-or-compute, shared with the approximate tier
+    /// ([`crate::approx`]): landmark rows and refined exact rows live in
+    /// the same planes as the exact path's rows, so the two tiers share
+    /// SSSP work when both price against one ground state.
+    pub(crate) fn get_or_compute(
         &self,
         g: &CsrGraph,
         geom: &GroundGeometry,

@@ -215,6 +215,51 @@ impl ModelSpec {
         }
     }
 
+    /// The spec's free parameters as named numbers, in the wire form the
+    /// dataset format records (`snd simulate` writes them so `--ground
+    /// icc|ltc` can reprice with the *simulated* parameters rather than
+    /// the family defaults). Parameters that are `None` are omitted;
+    /// [`ModelSpec::Icc`] has no free parameters.
+    pub fn params(&self) -> Vec<(&'static str, f64)> {
+        match *self {
+            ModelSpec::Voting {
+                p_nbr,
+                p_ext,
+                chance_fraction,
+            } => {
+                let mut out = vec![("p_nbr", p_nbr), ("p_ext", p_ext)];
+                if let Some(f) = chance_fraction {
+                    out.push(("chance_fraction", f));
+                }
+                out
+            }
+            ModelSpec::Icc => Vec::new(),
+            ModelSpec::Ltc { threshold } => vec![("threshold", threshold)],
+            ModelSpec::RandomActivation { fraction } => vec![("fraction", fraction)],
+            ModelSpec::MajorityRule { update_prob } => vec![("update_prob", update_prob)],
+            ModelSpec::StubbornVoter {
+                copy_prob,
+                stubborn_fraction,
+            } => vec![
+                ("copy_prob", copy_prob),
+                ("stubborn_fraction", stubborn_fraction),
+            ],
+            ModelSpec::DeGroot {
+                susceptibility,
+                threshold,
+            } => vec![("susceptibility", susceptibility), ("threshold", threshold)],
+            ModelSpec::BoundedConfidence {
+                confidence,
+                update_prob,
+                threshold,
+            } => vec![
+                ("confidence", f64::from(confidence)),
+                ("update_prob", update_prob),
+                ("threshold", threshold),
+            ],
+        }
+    }
+
     /// Builds the transition kernel for a network of `nodes` users,
     /// validating every parameter.
     pub fn build(
@@ -585,6 +630,26 @@ mod tests {
             8,
             "one scenario per model family: {families:?}"
         );
+    }
+
+    #[test]
+    fn model_params_are_finite_named_numbers() {
+        // Every registry model serializes to finite named parameters, and
+        // the two repricable families expose exactly what the ground-cost
+        // configs need: LTC its threshold, ICC nothing (no free params).
+        for sc in registry() {
+            for (name, value) in sc.model.params() {
+                assert!(
+                    value.is_finite(),
+                    "{}: param {name} must be finite, got {value}",
+                    sc.name
+                );
+                assert!(!name.is_empty());
+            }
+        }
+        let ltc = ModelSpec::Ltc { threshold: 0.35 };
+        assert_eq!(ltc.params(), vec![("threshold", 0.35)]);
+        assert!(ModelSpec::Icc.params().is_empty());
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub use components::{largest_weak_component, weak_components, UnionFind};
 pub use csr::{CsrGraph, EdgeId, GraphBuilder, NodeId};
 pub use laplacian::{dense_laplacian, laplacian_quadratic_form};
 pub use shortest_paths::{
-    bellman_ford, dial, dial_reverse, dial_reverse_scratch, dial_scratch, dijkstra,
-    dijkstra_reverse, dijkstra_scratch, floyd_warshall, radix_dijkstra, repair_row, CostChange,
-    Dist, RepairScratch, SsspScratch, UNREACHABLE,
+    bellman_ford, dial, dial_bounded_scratch, dial_reverse, dial_reverse_scratch, dial_scratch,
+    dijkstra, dijkstra_reverse, dijkstra_scratch, floyd_warshall, radix_dijkstra, repair_row,
+    select_landmarks, CostChange, Dist, GroupAggregate, LandmarkSketch, RepairScratch, SsspScratch,
+    UNREACHABLE,
 };

@@ -17,6 +17,7 @@
 
 mod dial_queue;
 mod dijkstra_impl;
+mod landmarks;
 mod oracle;
 mod radix_heap;
 mod repair;
@@ -24,10 +25,13 @@ mod scratch;
 
 pub use dial_queue::{dial, dial_reverse};
 pub use dijkstra_impl::{dijkstra, dijkstra_bounded, dijkstra_reverse};
+pub use landmarks::{select_landmarks, GroupAggregate, LandmarkSketch};
 pub use oracle::{bellman_ford, floyd_warshall};
 pub use radix_heap::{radix_dijkstra, RadixHeap};
 pub use repair::{repair_row, CostChange, RepairScratch};
-pub use scratch::{dial_reverse_scratch, dial_scratch, dijkstra_scratch, SsspScratch};
+pub use scratch::{
+    dial_bounded_scratch, dial_reverse_scratch, dial_scratch, dijkstra_scratch, SsspScratch,
+};
 
 /// Distance type. Path costs fit easily: at most `(n-1) * U`.
 pub type Dist = u64;
@@ -124,6 +128,44 @@ mod tests {
         let bounded = dijkstra_bounded(&g, &w, &[0], &targets);
         for &t in &targets {
             assert_eq!(bounded[t as usize], full[t as usize]);
+        }
+    }
+
+    #[test]
+    fn capacity_bounded_dial_certifies_its_radius() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut scratch = SsspScratch::new();
+        for trial in 0..40 {
+            let n = 10 + (trial % 30);
+            let g = generators::erdos_renyi_gnp(n, 0.15, true, &mut rng);
+            let w: Vec<u32> = (0..g.edge_count()).map(|_| rng.gen_range(0..=6)).collect();
+            let src = rng.gen_range(0..n as u32);
+            let full = dial(&g, &w, &[src], 6);
+            // Every node is a unit target; stop once a third are settled.
+            let target_weight = vec![1u64; n];
+            let radius = dial_bounded_scratch(
+                &g,
+                &w,
+                &[src],
+                6,
+                false,
+                &target_weight,
+                n as u64 / 3,
+                &mut scratch,
+            );
+            for v in 0..n as u32 {
+                let got = scratch.dist(v);
+                if got < radius {
+                    assert_eq!(got, full[v as usize], "settled exact, trial {trial}");
+                } else {
+                    assert!(full[v as usize] >= radius, "radius floor, trial {trial}");
+                    assert!(got >= full[v as usize], "tentative upper, trial {trial}");
+                }
+            }
+            // The scratch must be reusable after an early stop.
+            dial_scratch(&g, &w, &[src], 6, &mut scratch);
+            let again: Vec<_> = scratch.distances(n).collect();
+            assert_eq!(again, full, "scratch reusable after bounded run {trial}");
         }
     }
 

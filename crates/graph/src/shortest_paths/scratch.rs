@@ -178,6 +178,95 @@ fn dial_scratch_impl(
     }
 }
 
+/// Dial's algorithm with an early exit once enough *target capacity* has
+/// been settled: nodes are settled in distance order (exactly as
+/// [`dial_scratch`]), accumulating `target_weight[v]` per settled node, and
+/// the run stops at the first bucket boundary where the accumulated weight
+/// reaches `stop_capacity`.
+///
+/// Returns the exploration radius `r`. Every node whose entry reads `< r`
+/// via [`SsspScratch::dist`] is settled — the entry is its exact distance.
+/// Any other node's true distance is `>= r`, and its entry (when not
+/// [`UNREACHABLE`]) is the best tentative path found, a valid *upper*
+/// bound. A run that drains the queue before reaching the capacity returns
+/// [`UNREACHABLE`], i.e. every finite entry is exact.
+///
+/// This is the materialization primitive of the approximate SND tier: a
+/// supplier in a transportation problem only ships to its nearest
+/// consumers, so settling a constant multiple of its own mass in nearby
+/// consumer capacity is enough to price its flowing cells exactly, while
+/// the radius floors the cost of every consumer the ball never reached.
+#[allow(clippy::too_many_arguments)] // dial_scratch's signature plus the stop condition
+pub fn dial_bounded_scratch(
+    g: &CsrGraph,
+    weights: &[u32],
+    sources: &[NodeId],
+    max_weight: u32,
+    reverse: bool,
+    target_weight: &[u64],
+    stop_capacity: u64,
+    scratch: &mut SsspScratch,
+) -> Dist {
+    debug_assert_eq!(weights.len(), g.edge_count());
+    debug_assert_eq!(target_weight.len(), g.node_count());
+    debug_assert!(weights.iter().all(|&w| w <= max_weight));
+    let n = g.node_count();
+    let span = max_weight as usize + 1;
+    scratch.begin(n, span);
+    let mut in_queue = 0usize;
+    let mut settled: u64 = 0;
+
+    for &s in sources {
+        if scratch.get(s) != 0 {
+            scratch.set(s, 0);
+            scratch.buckets[0].push(s);
+            in_queue += 1;
+        }
+    }
+
+    let mut current: Dist = 0;
+    while in_queue > 0 {
+        let slot = (current % span as Dist) as usize;
+        while let Some(u) = scratch.buckets[slot].pop() {
+            in_queue -= 1;
+            if scratch.get(u) != current {
+                continue; // stale
+            }
+            settled = settled.saturating_add(target_weight[u as usize]);
+            let mut relax = |e: u32, v: NodeId, scratch: &mut SsspScratch| {
+                let nd = current + weights[e as usize] as Dist;
+                if nd < scratch.get(v) {
+                    scratch.set(v, nd);
+                    scratch.buckets[(nd % span as Dist) as usize].push(v);
+                    in_queue += 1;
+                }
+            };
+            if reverse {
+                for (e, v) in g.in_edges(u) {
+                    relax(e, v, scratch);
+                }
+            } else {
+                for (e, v) in g.out_edges(u) {
+                    relax(e, v, scratch);
+                }
+            }
+        }
+        current += 1;
+        // Stop only at bucket boundaries: everything at distance
+        // `< current` is now settled, so `current` is a sound radius even
+        // with zero-weight edges (same-bucket chains drain above).
+        if settled >= stop_capacity {
+            if in_queue > 0 {
+                for b in scratch.buckets.iter_mut() {
+                    b.clear();
+                }
+            }
+            return current;
+        }
+    }
+    UNREACHABLE
+}
+
 /// Multi-source binary-heap Dijkstra into caller-provided scratch.
 /// Semantics match [`dijkstra`](super::dijkstra).
 pub fn dijkstra_scratch(
