@@ -76,12 +76,10 @@ pub fn evaluate_detection(scores: &[f64], labels: &[bool], k: usize) -> Detectio
 /// order (stable on ties by index).
 pub fn top_k_anomalies(scores: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    // total_cmp: NaN scores order deterministically (above +inf) instead
+    // of collapsing to Equal, which would make the comparator
+    // non-transitive and the ranking permutation arbitrary.
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     idx.truncate(k);
     idx
 }
@@ -130,6 +128,23 @@ mod tests {
 
         // One-class labels carry no ranking signal.
         assert!(evaluate_detection(&scores, &[false; 6], 2).auc.is_none());
+    }
+
+    #[test]
+    fn nan_score_keeps_ranking_deterministic_and_auc_finite() {
+        // Regression for the partial_cmp ranking: a NaN score must not
+        // panic or scramble the order. Under total_cmp a NaN sorts first
+        // (above +inf) and everything else keeps its relative order.
+        let scores = [0.1, f64::NAN, 0.9, 0.5];
+        assert_eq!(top_k_anomalies(&scores, 4), vec![1, 2, 3, 0]);
+        // Same input twice: identical ranking (determinism, not chance).
+        assert_eq!(top_k_anomalies(&scores, 4), top_k_anomalies(&scores, 4));
+
+        let report = evaluate_detection(&scores, &[false, false, true, false], 2);
+        assert_eq!(report.k, 2);
+        assert_eq!(report.flagged, vec![1, 2]);
+        assert_eq!(report.hits, 1);
+        assert!(report.auc.expect("two-class labels").is_finite());
     }
 
     #[test]

@@ -19,11 +19,9 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
     let positives = labels.iter().filter(|&&l| l).count();
     let negatives = labels.len() - positives;
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp: a NaN score sorts deterministically (first, above +inf)
+    // instead of making the comparator non-transitive.
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
     let mut curve = vec![RocPoint {
         fpr: 0.0,
@@ -34,9 +32,12 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
     let mut fp = 0usize;
     let mut i = 0usize;
     while i < order.len() {
-        // Process all items sharing this score together.
+        // Process all items sharing this score together. Tie detection
+        // must be total_cmp equality: with `==`, a NaN score never equals
+        // itself, the inner loop consumes nothing, and the outer loop
+        // spins forever.
         let score = scores[order[i]];
-        while i < order.len() && scores[order[i]] == score {
+        while i < order.len() && scores[order[i]].total_cmp(&score).is_eq() {
             if labels[order[i]] {
                 tp += 1;
             } else {
@@ -118,6 +119,23 @@ mod tests {
         assert!((curve[1].fpr - 1.0).abs() < 1e-12);
         assert!((curve[1].tpr - 1.0).abs() < 1e-12);
         assert!((auc(&curve) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_scores_terminate_and_grade_finite() {
+        // Regression: tie grouping used `==`, and `NaN != NaN` meant the
+        // inner loop consumed nothing while the outer loop never
+        // advanced — a NaN score hung roc_curve forever. total_cmp
+        // equality groups the NaNs into one threshold step.
+        let scores = [f64::NAN, 0.8, f64::NAN, 0.2];
+        let labels = [false, true, false, false];
+        let curve = roc_curve(&scores, &labels);
+        // Origin + three threshold groups: {NaN, NaN}, {0.8}, {0.2}.
+        assert_eq!(curve.len(), 4);
+        assert!(auc(&curve).is_finite());
+        let last = curve.last().expect("curve is never empty");
+        assert!((last.fpr - 1.0).abs() < 1e-12);
+        assert!((last.tpr - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! across every registry scenario (`tests/delta_series.rs`).
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rayon::prelude::*;
@@ -74,6 +75,21 @@ thread_local! {
     static REPAIR_SCRATCH: RefCell<RepairScratch> = RefCell::new(RepairScratch::new());
 }
 
+/// Process-wide generation counter for cached SSSP rows. Every freshly
+/// computed or repaired row content gets a new generation; a reused row
+/// carries its previous generation forward. The reuse invariant — equal
+/// generations imply the same `Arc` (and therefore identical contents) —
+/// is what makes the `O(1)` carry-over in [`OpGeometry::advanced`] sound,
+/// and it only holds because this bump is atomic across the per-cluster
+/// parallel fan-out.
+static ROW_GEN: AtomicU64 = AtomicU64::new(0);
+
+/// Issues a generation no live row has carried before (never 0, so 0 can
+/// mean "untagged" in scratch states).
+fn next_row_gen() -> u64 {
+    ROW_GEN.fetch_add(1, Ordering::Relaxed) + 1
+}
+
 /// The cached, repairable geometry of one `(state, opinion)` pair.
 ///
 /// Rows are `Arc`-shared: a cluster whose rows a transition provably
@@ -84,6 +100,10 @@ struct OpGeometry {
     /// Per-cluster clamped multi-source SSSP row (empty when rows are not
     /// cached: per-bin mode, lossy clamp domain, `HalfExactDiameter`).
     cluster_rows: Vec<Arc<Vec<u32>>>,
+    /// Generation tag per cached row, parallel to `cluster_rows`. Repair
+    /// issues a fresh tag from [`ROW_GEN`]; reuse carries the tag forward,
+    /// so equal tags across bundles always mean the same `Arc`.
+    row_gens: Vec<u64>,
     /// Eccentricity-policy representative rows (forward / reverse), one
     /// pair per cluster; empty unless the policy is `Eccentricity`.
     ecc_fwd: Vec<Arc<Vec<u32>>>,
@@ -232,6 +252,7 @@ impl OpGeometry {
                     inter_cluster: DenseCost::filled(0, 0, 0),
                 },
                 cluster_rows: Vec::new(),
+                row_gens: Vec::new(),
                 ecc_fwd: Vec::new(),
                 ecc_rev: Vec::new(),
             };
@@ -303,6 +324,7 @@ impl OpGeometry {
         let mut inter = DenseCost::filled(nc, nc, unreachable);
         let mut gammas = Vec::with_capacity(nc);
         let mut cluster_rows = Vec::with_capacity(if keep_rows { nc } else { 0 });
+        let mut row_gens = Vec::with_capacity(if keep_rows { nc } else { 0 });
         let mut ecc_fwd = Vec::new();
         let mut ecc_rev = Vec::new();
         for (c, out) in per_cluster.into_iter().enumerate() {
@@ -317,6 +339,7 @@ impl OpGeometry {
             );
             if keep_rows {
                 cluster_rows.push(Arc::new(out.row));
+                row_gens.push(next_row_gen());
             }
             if want_ecc {
                 ecc_fwd.push(Arc::new(out.ecc_fwd));
@@ -334,6 +357,7 @@ impl OpGeometry {
                 inter_cluster: inter,
             },
             cluster_rows,
+            row_gens,
             ecc_fwd,
             ecc_rev,
         }
@@ -358,6 +382,8 @@ impl OpGeometry {
 
         struct ClusterOut {
             row: Arc<Vec<u32>>,
+            /// Generation of `row`: fresh on repair, carried over on reuse.
+            gen: u64,
             min_row: Option<Vec<u32>>, // None: unchanged, reuse previous
             base: Option<u32>,
             ecc_fwd: Arc<Vec<u32>>,
@@ -375,25 +401,27 @@ impl OpGeometry {
                 REPAIR_SCRATCH.with(|cell| {
                     let scratch = &mut cell.borrow_mut();
                     let members = clustering.members(c as u32);
-                    let (row, min_row) = if index.fires(&self.cluster_rows[c], unreachable, false) {
-                        let mut row = (*self.cluster_rows[c]).clone();
-                        let moved = repair_row(
-                            g,
-                            &new_costs,
-                            changes,
-                            members,
-                            false,
-                            unreachable,
-                            &mut row,
-                            scratch,
-                        );
-                        let min_row = (moved > 0)
-                            .then(|| min_reduce(&row, &clustering.labels, nc, unreachable));
-                        (Arc::new(row), min_row)
-                    } else {
-                        // Provable no-op: share the previous row (O(1)).
-                        (Arc::clone(&self.cluster_rows[c]), None)
-                    };
+                    let (row, gen, min_row) =
+                        if index.fires(&self.cluster_rows[c], unreachable, false) {
+                            let mut row = (*self.cluster_rows[c]).clone();
+                            let moved = repair_row(
+                                g,
+                                &new_costs,
+                                changes,
+                                members,
+                                false,
+                                unreachable,
+                                &mut row,
+                                scratch,
+                            );
+                            let min_row = (moved > 0)
+                                .then(|| min_reduce(&row, &clustering.labels, nc, unreachable));
+                            (Arc::new(row), next_row_gen(), min_row)
+                        } else {
+                            // Provable no-op: share the previous row (O(1)),
+                            // generation carried forward with it.
+                            (Arc::clone(&self.cluster_rows[c]), self.row_gens[c], None)
+                        };
                     let (base, ecc_fwd, ecc_rev) = if want_ecc {
                         let rep = members[0];
                         let mut repair_ecc = |prev: &Arc<Vec<u32>>, reverse: bool| {
@@ -424,6 +452,7 @@ impl OpGeometry {
                     };
                     ClusterOut {
                         row,
+                        gen,
                         min_row,
                         base,
                         ecc_fwd,
@@ -436,9 +465,18 @@ impl OpGeometry {
         let mut inter = DenseCost::filled(nc, nc, unreachable);
         let mut gammas = Vec::with_capacity(nc);
         let mut cluster_rows = Vec::with_capacity(nc);
+        let mut row_gens = Vec::with_capacity(nc);
         let mut ecc_fwd = Vec::new();
         let mut ecc_rev = Vec::new();
         for (c, out) in per_cluster.into_iter().enumerate() {
+            // The soundness of O(1) reuse, stated as a check: a carried
+            // generation must mean a carried Arc. Repaired rows got a fresh
+            // atomic bump, so a collision here means the bump was lost.
+            debug_assert!(
+                out.gen != self.row_gens[c] || Arc::ptr_eq(&out.row, &self.cluster_rows[c]),
+                "cluster {c}: repaired row reuses generation {} — stale-row hazard",
+                out.gen
+            );
             match out.min_row {
                 Some(mins) => {
                     for (c2, &d) in mins.iter().enumerate() {
@@ -463,6 +501,7 @@ impl OpGeometry {
                 None => gammas.push(self.geom.gammas[c].clone()),
             }
             cluster_rows.push(out.row);
+            row_gens.push(out.gen);
             if want_ecc {
                 ecc_fwd.push(out.ecc_fwd);
                 ecc_rev.push(out.ecc_rev);
@@ -479,6 +518,7 @@ impl OpGeometry {
                 inter_cluster: inter,
             },
             cluster_rows,
+            row_gens,
             ecc_fwd,
             ecc_rev,
         }
@@ -538,6 +578,7 @@ impl DeltaStateGeometry {
                         ..prev.geom.clone_scalars()
                     },
                     cluster_rows: Vec::new(),
+                    row_gens: Vec::new(),
                     ecc_fwd: Vec::new(),
                     ecc_rev: Vec::new(),
                 };
@@ -559,6 +600,7 @@ impl DeltaStateGeometry {
                         ..prev.geom.clone_scalars()
                     },
                     cluster_rows: prev.cluster_rows.clone(),
+                    row_gens: prev.row_gens.clone(),
                     ecc_fwd: prev.ecc_fwd.clone(),
                     ecc_rev: prev.ecc_rev.clone(),
                 };

@@ -686,6 +686,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_breakdown_is_bit_identical_to_sequential_reference() {
+        let mut rng = SmallRng::seed_from_u64(97);
+        let g = barabasi_albert(20, 2, &mut rng);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        use rand::Rng;
+        let vals_a: Vec<i8> = (0..20).map(|_| rng.gen_range(-1..=1)).collect();
+        let vals_b: Vec<i8> = (0..20).map(|_| rng.gen_range(-1..=1)).collect();
+        let a = NetworkState::from_values(&vals_a);
+        let b = NetworkState::from_values(&vals_b);
+
+        let ga_pos = engine.geometry_seq(&a, Opinion::Positive);
+        let ga_neg = engine.geometry_seq(&a, Opinion::Negative);
+        let gb_pos = engine.geometry_seq(&b, Opinion::Positive);
+        let gb_neg = engine.geometry_seq(&b, Opinion::Negative);
+        let geoms = [&ga_pos, &ga_neg, &gb_pos, &gb_neg];
+
+        let seq = engine.breakdown_with_geometry_seq(&a, &b, geoms);
+        let par = engine.breakdown_with_geometry(&a, &b, geoms);
+        // Bit identity, not tolerance: the parallel fan-out must change
+        // nothing about the arithmetic.
+        assert_eq!(seq.total().to_bits(), par.total().to_bits());
+        assert_eq!(
+            seq.total().to_bits(),
+            engine.breakdown(&a, &b).total().to_bits()
+        );
+        assert_eq!(
+            seq.total().to_bits(),
+            engine.breakdown_seq(&a, &b).total().to_bits()
+        );
+    }
+
+    #[test]
     fn opposite_polarity_states_are_far() {
         // Flipping every active user's opinion should cost much more than
         // keeping opinions and moving one user.

@@ -724,6 +724,7 @@ impl<'g> SndEngine<'g> {
     pub fn pairwise_tiles(&self, states: &[NetworkState], plan: &ShardPlan) -> TileSet {
         let mut set = TileSet::empty(*plan.grid(), self.shard_fingerprint(states));
         self.compute_plan_tiles(states, plan, &mut set, &mut |_, _| Ok(()))
+            // lint:allow(no-unwrap) the no-op sink closure is the only error source and always returns Ok
             .expect("in-memory tile computation performs no IO");
         set
     }
@@ -899,7 +900,9 @@ impl<'g> SndEngine<'g> {
                 .map(|t| {
                     let (i, j) = pairs[t / 4];
                     let (ga, gb) = (
+                        // lint:allow(no-unwrap) the materialization pass above filled every index in `pairs`
                         geoms[i].as_ref().expect("geometry materialized"),
+                        // lint:allow(no-unwrap) the materialization pass above filled every index in `pairs`
                         geoms[j].as_ref().expect("geometry materialized"),
                     );
                     self.pair_term(&states[i], &states[j], ga, gb, t % 4)
@@ -1038,7 +1041,9 @@ impl<'g> SndEngine<'g> {
                     }
                     let (i, j) = pairs[t / 4];
                     let (ga, gb) = (
+                        // lint:allow(no-unwrap) the materialization pass above filled every index in `pairs`
                         geoms[i].as_ref().expect("geometry materialized"),
+                        // lint:allow(no-unwrap) the materialization pass above filled every index in `pairs`
                         geoms[j].as_ref().expect("geometry materialized"),
                     );
                     self.pair_term(&states[i], &states[j], ga, gb, t % 4)

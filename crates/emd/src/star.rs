@@ -116,6 +116,7 @@ impl StarGeometry {
         }
         for (c, gammas) in self.gammas.iter().enumerate() {
             for (b, &g) in gammas.iter().enumerate() {
+                // lint:allow(lossy-cast) gammas and diameters are u32; u32 → u64 is exact
                 if (g as u64) * 2 < max_intra[c] as u64 {
                     return Err(format!(
                         "gamma[{c}][{b}] = {g} below half intra-cluster diameter {}",
@@ -155,7 +156,9 @@ pub fn proportional_split(delta: Mass, weights: &[Mass]) -> Vec<Mass> {
         return vec![0; k];
     }
     if total == 0 {
+        // lint:allow(lossy-cast) k is a slice length; usize → u64 is exact on supported targets
         let base = delta / k as u64;
+        // lint:allow(lossy-cast) delta % k < k, a slice length, so it fits usize
         let rem = (delta % k as u64) as usize;
         return (0..k).map(|i| base + u64::from(i < rem)).collect();
     }

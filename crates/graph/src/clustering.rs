@@ -105,6 +105,7 @@ pub fn label_propagation<R: Rng>(g: &CsrGraph, max_sweeps: usize, rng: &mut R) -
                         .then_with(|| b.0.cmp(a.0))
                 })
                 .map(|(&l, _)| l)
+                // lint:allow(no-unwrap) guarded by the `counts.is_empty()` continue above
                 .expect("non-empty counts");
             if best != current {
                 labels[v as usize] = best;

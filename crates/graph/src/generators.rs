@@ -12,6 +12,7 @@ use crate::csr::{CsrGraph, NodeId};
 /// Samples a degree from a discrete power law `P(k) ∝ k^exponent` over
 /// `k ∈ [k_min, k_max]` by inversion on the (unnormalized) CDF.
 fn sample_power_law<R: Rng>(cdf: &[f64], k_min: usize, rng: &mut R) -> usize {
+    // lint:allow(no-unwrap) the caller builds the cdf over k_min..=k_max, which is never empty
     let total = *cdf.last().expect("non-empty cdf");
     let x = rng.gen_range(0.0..total);
     let idx = cdf.partition_point(|&c| c < x);

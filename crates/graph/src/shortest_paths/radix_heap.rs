@@ -81,6 +81,7 @@ impl<T> RadixHeap<T> {
             .buckets
             .iter()
             .position(|bucket| !bucket.is_empty())
+            // lint:allow(no-unwrap) `len` counts exactly the entries stored across buckets
             .expect("len > 0 implies a non-empty bucket");
         if b == 0 {
             // Bucket 0 holds keys equal to `last`; any entry is minimal.

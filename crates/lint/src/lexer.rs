@@ -1,0 +1,574 @@
+//! A hand-rolled, comment/string-aware Rust lexer.
+//!
+//! The rules in [`crate::rules`] operate on token streams, never raw text,
+//! so `partial_cmp` inside a string literal or a comment can never trip a
+//! finding. Comments are not discarded: they are collected separately with
+//! their line spans, because two rule mechanisms live in comments — the
+//! `// lint:allow(rule) reason` escape hatch and the `// SAFETY:`
+//! obligation of unsafe code.
+//!
+//! The lexer is deliberately approximate where precision buys nothing for
+//! the rules (numeric literals are one token regardless of suffix), and
+//! precise where it matters: nested block comments, raw strings with
+//! arbitrary `#` guards, byte strings, and the `'a'`-char versus
+//! `'a`-lifetime ambiguity are all handled.
+
+/// What a token is; rules mostly match on [`Tok::text`], the kind exists
+/// to separate identifiers from literals that happen to spell the same.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `partial_cmp`, …).
+    Ident,
+    /// Operator or delimiter; multi-char operators (`::`, `+=`) are one
+    /// token.
+    Punct,
+    /// Numeric literal, suffix included.
+    Num,
+    /// String / raw string / byte-string literal (contents dropped).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`), including the quote.
+    Lifetime,
+}
+
+/// One source token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (empty for string literals — contents are irrelevant to
+    /// every rule and may contain misleading token-lookalikes).
+    pub text: String,
+}
+
+/// One comment, with the line span it covers (block comments may span
+/// many lines; line comments have `start_line == end_line`).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub start_line: u32,
+    /// 1-based line the comment ends on.
+    pub end_line: u32,
+    /// Full comment text, delimiters included.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Invalid UTF-8 never reaches here (files are read as
+/// strings); malformed constructs degrade to punct tokens rather than
+/// failing, since a lint pass must not die on code rustc itself rejects.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut out = Lexed::default();
+
+    // Longest-first so `<<=`-style prefixes do not shadow their extensions.
+    const MULTI: [&str; 21] = [
+        "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "&&",
+        "||", "^=", "&=", "|=", "..", "<<",
+    ];
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && (b[i + 1] == '/' || b[i + 1] == '*') {
+            let start_line = line;
+            let mut text = String::new();
+            if b[i + 1] == '/' {
+                while i < n && b[i] != '\n' {
+                    text.push(b[i]);
+                    i += 1;
+                }
+            } else {
+                // Block comment; Rust block comments nest.
+                let mut depth = 0usize;
+                while i < n {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        text.push_str("/*");
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        text.push_str("*/");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                        continue;
+                    }
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(b[i]);
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                start_line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        // Raw / byte string prefixes: r", r#", b", br#", br".
+        if (c == 'r' || c == 'b') && is_string_start(&b, i) {
+            let start_line = line;
+            i = skip_string(&b, i, &mut line);
+            out.toks.push(Tok {
+                line: start_line,
+                kind: TokKind::Str,
+                text: String::new(),
+            });
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Numbers (suffixes and float forms folded into one token).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            // A float's fractional part: dot NOT followed by another dot
+            // (`0..n` is a range) or an identifier start (`0.max(x)` is a
+            // method call).
+            if i < n
+                && b[i] == '.'
+                && i + 1 < n
+                && b[i + 1] != '.'
+                && !b[i + 1].is_alphabetic()
+                && b[i + 1] != '_'
+            {
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Plain strings.
+        if c == '"' {
+            let start_line = line;
+            i = skip_plain_string(&b, i + 1, &mut line);
+            out.toks.push(Tok {
+                line: start_line,
+                kind: TokKind::Str,
+                text: String::new(),
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if let Some(next) = b.get(i + 1) {
+                let is_lifetime = (next.is_alphabetic() || *next == '_')
+                    && b.get(i + 2) != Some(&'\'')
+                    // `'static` etc: consume ident chars, no closing quote.
+                    ;
+                if is_lifetime && *next != '\\' {
+                    let start = i;
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                    });
+                    continue;
+                }
+            }
+            // Char literal: consume to the closing quote, honoring escapes.
+            i += 1;
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '\'' {
+                    i += 1;
+                    break;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Char,
+                text: String::new(),
+            });
+            continue;
+        }
+        // Multi-char operators, longest match first.
+        let rest: String = b[i..n.min(i + 3)].iter().collect();
+        if let Some(op) = MULTI.iter().find(|op| rest.starts_with(**op)) {
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Punct,
+                text: (*op).to_string(),
+            });
+            i += op.len();
+            continue;
+        }
+        out.toks.push(Tok {
+            line,
+            kind: TokKind::Punct,
+            text: c.to_string(),
+        });
+        i += 1;
+    }
+    merge_line_comment_runs(&mut out.comments);
+    out
+}
+
+/// Coalesces runs of `//` comments on consecutive lines into one logical
+/// comment, so a `// SAFETY:` argument wrapped over several lines spans
+/// down to the line directly above the code it documents.
+fn merge_line_comment_runs(comments: &mut Vec<Comment>) {
+    let mut merged: Vec<Comment> = Vec::with_capacity(comments.len());
+    for c in comments.drain(..) {
+        match merged.last_mut() {
+            Some(prev)
+                if prev.text.starts_with("//")
+                    && c.text.starts_with("//")
+                    && c.start_line == prev.end_line + 1 =>
+            {
+                prev.end_line = c.end_line;
+                prev.text.push('\n');
+                prev.text.push_str(&c.text);
+            }
+            _ => merged.push(c),
+        }
+    }
+    *comments = merged;
+}
+
+/// Does position `i` (at `r` or `b`) start a raw/byte string or byte-char
+/// literal?
+fn is_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if b.get(j) == Some(&'\'') {
+            return true; // b'x'
+        }
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    b.get(j) == Some(&'"')
+}
+
+/// Skips a string starting at `i` (prefix included), returning the index
+/// just past its closing delimiter.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if b[i] == 'b' {
+        i += 1;
+        if b.get(i) == Some(&'\'') {
+            // b'x' byte-char: escape-aware single-quote scan.
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '\'' {
+                    return i + 1;
+                }
+                i += 1;
+            }
+            return i;
+        }
+    }
+    let mut guards = 0usize;
+    if b.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+        while b.get(i) == Some(&'#') {
+            guards += 1;
+            i += 1;
+        }
+    }
+    debug_assert_eq!(b.get(i), Some(&'"'));
+    i += 1;
+    skip_string_body(b, i, line, raw, guards)
+}
+
+/// Skips a non-raw string body starting just after the opening quote.
+fn skip_plain_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    skip_string_body(b, i, line, false, 0)
+}
+
+fn skip_string_body(b: &[char], mut i: usize, line: &mut u32, raw: bool, guards: usize) -> usize {
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if !raw && c == '\\' {
+            i += 2;
+            continue;
+        }
+        if c == '"' {
+            if !raw {
+                return i + 1;
+            }
+            // Raw string: the quote must be followed by `guards` hashes.
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < guards && b.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == guards {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Marks the token index ranges that belong to test code: bodies of items
+/// annotated `#[test]` or with any `#[cfg(…)]` attribute mentioning
+/// `test`. Returns one bool per token: `true` = inside test code.
+///
+/// The match is conservative toward *more* test classification
+/// (`#[cfg(any(test, feature = "x"))]` counts), which is the safe
+/// direction for every rule that consumes this mask: rules *exempt* test
+/// code, they never require it.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text != "#" {
+            i += 1;
+            continue;
+        }
+        // Parse one attribute `#[ … ]`, noting whether it mentions `test`.
+        let Some(close) = matching(toks, i + 1, "[", "]") else {
+            i += 1;
+            continue;
+        };
+        let mentions_test = toks[i + 2..close]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && (t.text == "test" || t.text == "tests"));
+        let mut j = close + 1;
+        // Skip any further attributes on the same item.
+        while j < toks.len() && toks[j].text == "#" {
+            match matching(toks, j + 1, "[", "]") {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        if !mentions_test {
+            i = close + 1;
+            continue;
+        }
+        // Find the item's body: the first `{` before a terminating `;`.
+        let mut k = j;
+        let mut body = None;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" => {
+                    body = Some(k);
+                    break;
+                }
+                ";" => break, // `mod foo;` — body is another file
+                _ => k += 1,
+            }
+        }
+        if let Some(open) = body {
+            if let Some(close_body) = matching(toks, open, "{", "}") {
+                for m in mask.iter_mut().take(close_body + 1).skip(open) {
+                    *m = true;
+                }
+                // Attributes themselves count as test code too.
+                for m in mask.iter_mut().take(open).skip(i) {
+                    *m = true;
+                }
+            }
+        }
+        i = close + 1;
+    }
+    mask
+}
+
+/// Index of the token closing the bracket opened at `open` (which must
+/// hold the `open_sym` token), or `None` if unbalanced.
+fn matching(toks: &[Tok], open: usize, open_sym: &str, close_sym: &str) -> Option<usize> {
+    if toks.get(open)?.text != open_sym {
+        return None;
+    }
+    let mut depth = 0isize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == open_sym {
+                depth += 1;
+            } else if t.text == close_sym {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            // partial_cmp in a comment
+            /* unsafe in /* a nested */ block comment */
+            let s = "partial_cmp .unwrap()";
+            let r = r#"thread::spawn "quoted" inside raw"#;
+            let c = 'u';
+            let b = b"unwrap";
+        "##;
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().all(|t| t.text != "partial_cmp"));
+        assert!(lexed.toks.iter().all(|t| t.text != "unsafe"));
+        assert!(lexed.toks.iter().all(|t| t.text != "spawn"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = texts("fn f<'a>(x: &'a str) -> &'static str { 'l': loop {} }");
+        assert!(t.contains(&"'a".to_string()));
+        assert!(t.contains(&"'static".to_string()));
+        // A real char literal lexes as one Char token.
+        let lexed = lex("let c = 'x'; let esc = '\\'';");
+        assert_eq!(
+            lexed
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let t = texts("a::b += c >= d .. e");
+        assert_eq!(t, vec!["a", "::", "b", "+=", "c", ">=", "d", "..", "e"]);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        let t = texts("(0..self.n) 1.5 2.min(x)");
+        assert!(t.contains(&"0".to_string()));
+        assert!(t.contains(&"..".to_string()));
+        assert!(t.contains(&"1.5".to_string()));
+        assert!(t.contains(&"2".to_string()));
+    }
+
+    #[test]
+    fn comment_line_spans_track_newlines() {
+        let src = "let a = 1;\n/* one\ntwo\nthree */\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments[0].start_line, 2);
+        assert_eq!(lexed.comments[0].end_line, 4);
+        let b_tok = lexed.toks.iter().find(|t| t.text == "b").expect("b");
+        assert_eq!(b_tok.line, 5);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_masked() {
+        let src = r#"
+            pub fn lib_code() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { y.unwrap(); }
+            }
+        "#;
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        let unwraps: Vec<bool> = lexed
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn test_attribute_masks_fn_body() {
+        let src = r#"
+            #[test]
+            fn probe() { a.unwrap(); }
+            fn real() { b.unwrap(); }
+        "#;
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        let unwraps: Vec<bool> = lexed
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+}

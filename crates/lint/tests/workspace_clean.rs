@@ -1,0 +1,53 @@
+//! The self-hosting gate: the real workspace must lint clean.
+//!
+//! This is the same scan `cargo xtask lint` runs in CI; having it inside
+//! `cargo test -p snd-lint` means a plain test run catches regressions
+//! (deleting a `total_cmp` fix or a `// SAFETY:` comment turns this red)
+//! without any extra tooling.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → crates → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean() {
+    let ws = snd_lint::Workspace::from_dir(&workspace_root()).expect("workspace readable");
+    assert!(ws.files.len() > 50, "walker found the workspace sources");
+    let report = ws.check();
+    assert!(
+        report.clean(),
+        "lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_unsafe_site_is_inventoried_and_documented() {
+    let ws = snd_lint::Workspace::from_dir(&workspace_root()).expect("workspace readable");
+    let report = ws.check();
+    assert!(
+        !report.unsafe_sites.is_empty(),
+        "the vendored pool and model checker hold unsafe code; an empty \
+         inventory means the scanner is broken"
+    );
+    for site in &report.unsafe_sites {
+        assert!(
+            !site.safety.is_empty(),
+            "{}:{} lacks a SAFETY argument",
+            site.path.display(),
+            site.line
+        );
+    }
+}

@@ -233,7 +233,7 @@ fn solve_typed<C: CostInt>(
     let mut net: Network<C> = Network::new(nodes);
     for (i, &supply) in supplies.iter().enumerate() {
         for (j, &demand) in demands.iter().enumerate() {
-            // Checked on entry to `solve`: masses fit i64.
+            // lint:allow(no-unwrap) masses are validated to fit i64 on entry to `solve`
             let capacity = i64::try_from(supply.min(demand)).expect("mass fits i64");
             net.add_arc(
                 i as u32,
@@ -244,9 +244,11 @@ fn solve_typed<C: CostInt>(
         }
     }
     for (i, &s) in supplies.iter().enumerate() {
+        // lint:allow(no-unwrap) masses are validated to fit i64 on entry to `solve`
         net.excess[i] = i64::try_from(s).expect("mass fits i64");
     }
     for (j, &d) in demands.iter().enumerate() {
+        // lint:allow(no-unwrap) masses are validated to fit i64 on entry to `solve`
         net.excess[m + j] = -i64::try_from(d).expect("mass fits i64");
     }
 
@@ -267,6 +269,7 @@ fn solve_typed<C: CostInt>(
         for arc in &net.graph[i] {
             // Forward arcs leave suppliers; flow = capacity − residual,
             // read off the reverse arc's residual.
+            // lint:allow(lossy-cast) u32 node id → usize index; not mass/cost arithmetic
             let j = arc.to as usize - m;
             let f = net.graph[arc.to as usize][arc.rev as usize].residual;
             if f > 0 {

@@ -148,6 +148,7 @@ impl DenseCost {
             for k in 0..n {
                 let dik = self.at(i, k) as u64;
                 for j in 0..n {
+                    // lint:allow(lossy-cast) distance entries are u32; u32 → u64 is exact
                     if dik + (self.at(k, j) as u64) < self.at(i, j) as u64 {
                         return false;
                     }

@@ -134,6 +134,7 @@ fn solve_impl(
         }
         for (k, cell) in basis.iter().enumerate() {
             adj[cell.row as usize].push(k as u32);
+            // lint:allow(lossy-cast) u32 column id → usize index; not mass/cost arithmetic
             adj[m + cell.col as usize].push(k as u32);
         }
         compute_duals(
@@ -329,6 +330,7 @@ fn compute_duals(
         for &cell_id in &adj[node] {
             let cell = basis[cell_id as usize];
             let row_node = cell.row as usize;
+            // lint:allow(lossy-cast) u32 column id → usize index; not mass/cost arithmetic
             let col_node = m + cell.col as usize;
             let other = if node == row_node { col_node } else { row_node };
             if !visit[other] {
@@ -368,6 +370,7 @@ fn scan_cells(
         }
         let i = pos / n;
         let j = pos - i * n;
+        // lint:allow(lossy-cast) cost entries are u32; u32 → i64 is exact
         let r = cost.at(i, j) as i64 - u[i] - v[j];
         if r < 0 && best.is_none_or(|(b, _)| r < b) {
             best = Some((r, off));
@@ -477,12 +480,14 @@ fn tree_path(
     while head < queue.len() {
         let node = queue[head] as usize;
         head += 1;
+        // lint:allow(lossy-cast) tree nodes index m + n u32 ids, so they fit u32
         if node as u32 == to {
             break;
         }
         for &cell_id in &adj[node] {
             let cell = basis[cell_id as usize];
             let row_node = cell.row as usize;
+            // lint:allow(lossy-cast) u32 column id → usize index; not mass/cost arithmetic
             let col_node = m + cell.col as usize;
             let other = if node == row_node { col_node } else { row_node };
             if parent_cell[other] == UNVISITED {
@@ -504,6 +509,7 @@ fn tree_path(
         path.push(cell_id);
         let cell = basis[cell_id as usize];
         let row_node = cell.row as usize;
+        // lint:allow(lossy-cast) u32 column id → usize index; not mass/cost arithmetic
         let col_node = m + cell.col as usize;
         node = if node == row_node { col_node } else { row_node };
     }

@@ -49,8 +49,10 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
                 let i = node;
                 // Forward arcs i -> every consumer, infinite capacity.
                 for j in 0..n {
+                    // lint:allow(lossy-cast) cost entries are u32; u32 → i64 is exact
                     let rc = cost.at(i, j) as i64 + pi_s[i] - pi_c[j];
                     debug_assert!(rc >= 0, "reduced cost must stay non-negative");
+                    // lint:allow(lossy-cast) rc asserted non-negative above; i64 → u64 is exact for rc >= 0
                     let nd = d + rc as u64;
                     if nd < dist[m + j] {
                         dist[m + j] = nd;
@@ -65,6 +67,7 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
                     if flow[i * n + j] > 0 {
                         let rc = -(cost.at(i, j) as i64) + pi_c[j] - pi_s[i];
                         debug_assert!(rc >= 0, "reduced cost must stay non-negative");
+                        // lint:allow(lossy-cast) rc asserted non-negative above; i64 → u64 is exact for rc >= 0
                         let nd = d + rc as u64;
                         if nd < dist[i] {
                             dist[i] = nd;
@@ -81,6 +84,7 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
             .filter(|&j| rd[j] > 0)
             .map(|j| (j, dist[m + j]))
             .min_by_key(|&(_, d)| d)
+            // lint:allow(no-unwrap) supplies and demands sum equal, so unmet demand exists whenever supply remains
             .expect("balanced problem: demand remains while supply remains");
         assert!(
             d_target != u64::MAX,
@@ -90,9 +94,11 @@ pub fn solve(supplies: &[Mass], demands: &[Mass], cost: &DenseCost) -> Transport
         // Potential update capped at the target's distance keeps all
         // residual reduced costs non-negative.
         for i in 0..m {
+            // lint:allow(lossy-cast) capped at d_target, a sum of < n reduced costs, each <= max u32 cost
             pi_s[i] += dist[i].min(d_target) as i64;
         }
         for j in 0..n {
+            // lint:allow(lossy-cast) capped at d_target, a sum of < n reduced costs, each <= max u32 cost
             pi_c[j] += dist[m + j].min(d_target) as i64;
         }
 

@@ -63,7 +63,7 @@ fn main() {
         .map(|(s, h)| s - h)
         .enumerate()
         .collect();
-    disagreement.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    disagreement.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\ntransitions where SND most exceeds Hamming (expect polarized events):");
     for (t, gap) in disagreement.iter().take(3) {
         println!(

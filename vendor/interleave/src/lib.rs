@@ -1,0 +1,842 @@
+//! Loom-style schedule exploration for the workspace's hand-rolled
+//! concurrency (the vendored rayon pool, the `RowCache` plane protocol,
+//! the delta generation-counter reuse path).
+//!
+//! A *model run* executes a closure on real OS threads, but with every
+//! synchronization operation routed through a cooperative scheduler that
+//! lets exactly one thread run at a time and picks the next runnable
+//! thread with a seeded RNG at every instrumented step. Re-running the
+//! same closure under thousands of seeds explores thousands of distinct
+//! interleavings; any assertion failure, deadlock, or livelock is
+//! reported with the seed that produced it, so failures replay
+//! deterministically.
+//!
+//! Instrumented primitives ([`sync::Mutex`], [`sync::Condvar`],
+//! [`sync::OnceCell`], [`sync::atomic`]) are drop-in shaped like their
+//! `std::sync` counterparts. Outside a model run they pass straight
+//! through to `std`, which is what lets production code (the rayon pool)
+//! alias them behind a `model` cfg feature without behavior change for
+//! ordinary builds.
+//!
+//! Scale the exploration with `SND_MODEL_CHECK=1` (10 000 iterations per
+//! model — see [`iterations`]); the default is a CI-friendly bound.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, OnceLock};
+
+/// Iterations run when `SND_MODEL_CHECK` is set (the "full shake").
+pub const FULL_ITERATIONS: usize = 10_000;
+
+/// Per-iteration scheduling-step bound; exceeding it means a livelock
+/// (threads keep running without the model terminating).
+const STEP_LIMIT: u64 = 1_000_000;
+
+/// Number of iterations a model test should run: [`FULL_ITERATIONS`] when
+/// the `SND_MODEL_CHECK` environment variable is set to anything
+/// non-empty other than `0`, else `default_iters`.
+pub fn iterations(default_iters: usize) -> usize {
+    match std::env::var("SND_MODEL_CHECK") {
+        Ok(v) if !v.is_empty() && v != "0" => FULL_ITERATIONS,
+        _ => default_iters,
+    }
+}
+
+/// What a model thread is currently allowed to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Blocked acquiring the mutex with this resource id.
+    Mutex(usize),
+    /// Waiting on the condvar with this id.
+    Cv(usize),
+    /// Waiting for the thread with this index to finish.
+    Join(usize),
+    /// Done; never scheduled again.
+    Finished,
+}
+
+struct Sched {
+    rng: u64,
+    threads: Vec<Run>,
+    /// Mutex owners by resource id (`None` = free).
+    owners: Vec<Option<usize>>,
+    /// Next condvar id to hand out (waiters live in `threads`).
+    next_cv: usize,
+    /// The one thread allowed to run right now.
+    current: usize,
+    steps: u64,
+    /// First failure (deadlock, livelock, panic); fails the whole run.
+    failure: Option<String>,
+}
+
+impl Sched {
+    /// xorshift64* step — deterministic per seed, cheap, stateless.
+    fn next_rand(&mut self, n: usize) -> usize {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize) % n
+    }
+
+    /// Picks the next thread to run uniformly among runnable ones. If
+    /// nothing is runnable but threads remain, the model has deadlocked.
+    fn pick(&mut self) {
+        self.steps += 1;
+        if self.steps > STEP_LIMIT && self.failure.is_none() {
+            self.failure = Some(format!(
+                "livelock: model exceeded {STEP_LIMIT} scheduling steps"
+            ));
+            return;
+        }
+        let runnable: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|&(_, r)| *r == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if self.failure.is_none() && self.threads.iter().any(|r| *r != Run::Finished) {
+                self.failure = Some(format!(
+                    "deadlock: no runnable thread (states: {:?})",
+                    self.threads
+                ));
+            }
+            return;
+        }
+        let k = self.next_rand(runnable.len());
+        self.current = runnable[k];
+    }
+}
+
+/// Shared scheduler state of one model run.
+struct Inner {
+    state: StdMutex<Sched>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    /// The model run this OS thread belongs to, if any. `None` means all
+    /// instrumented primitives pass through to `std`.
+    static CURRENT: RefCell<Option<(Arc<Inner>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current_model() -> Option<(Arc<Inner>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Inner {
+    fn locked(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.state.lock().expect("model scheduler poisoned")
+    }
+
+    /// Blocks the calling model thread until the scheduler hands it the
+    /// token again (`current == me` and `Runnable`). Propagates a model
+    /// failure by panicking on every thread so the run unwinds.
+    fn park<'a>(
+        &'a self,
+        me: usize,
+        mut s: std::sync::MutexGuard<'a, Sched>,
+    ) -> std::sync::MutexGuard<'a, Sched> {
+        self.cv.notify_all();
+        loop {
+            if let Some(msg) = &s.failure {
+                let msg = msg.clone();
+                drop(s);
+                self.cv.notify_all();
+                panic!("{msg}");
+            }
+            if s.current == me && s.threads[me] == Run::Runnable {
+                return s;
+            }
+            s = self.cv.wait(s).expect("model scheduler poisoned");
+        }
+    }
+
+    /// A plain scheduling point: give every other runnable thread a
+    /// chance to be picked before the caller's next step.
+    fn yield_point(&self, me: usize) {
+        let mut s = self.locked();
+        s.pick();
+        drop(self.park(me, s));
+    }
+
+    fn alloc_mutex(&self) -> usize {
+        let mut s = self.locked();
+        s.owners.push(None);
+        s.owners.len() - 1
+    }
+
+    fn alloc_cv(&self) -> usize {
+        let mut s = self.locked();
+        s.next_cv += 1;
+        s.next_cv - 1
+    }
+
+    /// Acquires logical ownership of mutex `res`, blocking through the
+    /// scheduler (never through the OS) so a held lock only suspends the
+    /// model thread, not the whole model.
+    fn acquire(&self, me: usize, res: usize) {
+        let mut s = self.locked();
+        loop {
+            if s.owners[res].is_none() {
+                s.owners[res] = Some(me);
+                return;
+            }
+            s.threads[me] = Run::Mutex(res);
+            s.pick();
+            s = self.park(me, s);
+        }
+    }
+
+    /// Releases mutex `res` and wakes its waiters; also a scheduling
+    /// point (unlock is where races become visible).
+    fn release(&self, me: usize, res: usize) {
+        let mut s = self.locked();
+        debug_assert_eq!(s.owners[res], Some(me), "release by non-owner");
+        s.owners[res] = None;
+        for r in s.threads.iter_mut() {
+            if *r == Run::Mutex(res) {
+                *r = Run::Runnable;
+            }
+        }
+        s.pick();
+        drop(self.park(me, s));
+    }
+
+    /// Condvar wait: atomically release `res`, sleep on `cv` until
+    /// notified, then reacquire `res`.
+    fn cv_wait(&self, me: usize, cv: usize, res: usize) {
+        let mut s = self.locked();
+        debug_assert_eq!(s.owners[res], Some(me), "wait without the lock");
+        s.owners[res] = None;
+        for r in s.threads.iter_mut() {
+            if *r == Run::Mutex(res) {
+                *r = Run::Runnable;
+            }
+        }
+        s.threads[me] = Run::Cv(cv);
+        s.pick();
+        s = self.park(me, s);
+        // Notified: reacquire the mutex before returning, as std does.
+        loop {
+            if s.owners[res].is_none() {
+                s.owners[res] = Some(me);
+                return;
+            }
+            s.threads[me] = Run::Mutex(res);
+            s.pick();
+            s = self.park(me, s);
+        }
+    }
+
+    /// Wakes waiters of `cv` (`all` = notify_all vs notify_one) — a
+    /// scheduling point like any other visible effect.
+    fn cv_notify(&self, me: usize, cv: usize, all: bool) {
+        let mut s = self.locked();
+        for r in s.threads.iter_mut() {
+            if *r == Run::Cv(cv) {
+                *r = Run::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+        s.pick();
+        drop(self.park(me, s));
+    }
+
+    /// Registers a new model thread, initially runnable.
+    fn register(&self) -> usize {
+        let mut s = self.locked();
+        s.threads.push(Run::Runnable);
+        s.threads.len() - 1
+    }
+
+    /// First schedule-in of a freshly spawned thread.
+    fn wait_first(&self, me: usize) {
+        let s = self.locked();
+        drop(self.park(me, s));
+    }
+
+    /// Marks `me` finished, wakes joiners, and hands the token on.
+    fn finish(&self, me: usize, panic_msg: Option<String>) {
+        let mut s = self.locked();
+        s.threads[me] = Run::Finished;
+        if let Some(msg) = panic_msg {
+            if s.failure.is_none() {
+                s.failure = Some(msg);
+            }
+        }
+        for r in s.threads.iter_mut() {
+            if *r == Run::Join(me) {
+                *r = Run::Runnable;
+            }
+        }
+        s.pick();
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// Model-side join: block until `target` finishes.
+    fn join_thread(&self, me: usize, target: usize) {
+        let mut s = self.locked();
+        while s.threads[target] != Run::Finished {
+            s.threads[me] = Run::Join(target);
+            s.pick();
+            s = self.park(me, s);
+        }
+    }
+}
+
+/// Model-aware threads. Outside a model run these are plain
+/// `std::thread` spawns.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a model (or plain) thread.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<T>,
+        /// `(model, target thread index)` when spawned inside a model.
+        model: Option<(Arc<Inner>, usize)>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread. In a model run the wait is a scheduler
+        /// blocking state, so other threads keep interleaving.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((inner, target)) = &self.model {
+                let (_, me) = current_model().expect("model join from non-model thread");
+                inner.join_thread(me, *target);
+            }
+            self.inner.join()
+        }
+    }
+
+    /// Spawns a thread. Inside a model run the new thread participates in
+    /// the schedule (it runs only when the scheduler picks it); outside,
+    /// this is `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match current_model() {
+            Some((inner, _me)) => {
+                let tid = inner.register();
+                let inner2 = Arc::clone(&inner);
+                let handle = std::thread::spawn(move || {
+                    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner2), tid)));
+                    inner2.wait_first(tid);
+                    let result = catch_unwind(AssertUnwindSafe(f));
+                    let panic_msg = result.as_ref().err().map(|p| {
+                        let what = p
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| p.downcast_ref::<&str>().copied())
+                            .unwrap_or("opaque panic payload");
+                        format!("model thread {tid} panicked: {what}")
+                    });
+                    inner2.finish(tid, panic_msg);
+                    CURRENT.with(|c| *c.borrow_mut() = None);
+                    match result {
+                        Ok(v) => v,
+                        Err(p) => resume_unwind(p),
+                    }
+                });
+                JoinHandle {
+                    inner: handle,
+                    model: Some((inner, tid)),
+                }
+            }
+            None => JoinHandle {
+                inner: std::thread::spawn(f),
+                model: None,
+            },
+        }
+    }
+
+    /// An explicit scheduling point — useful in spin-style loops so the
+    /// scheduler can interleave other threads.
+    pub fn yield_now() {
+        if let Some((inner, me)) = current_model() {
+            inner.yield_point(me);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Runs `f` once under the model scheduler with the given seed. `f` runs
+/// on the calling thread (registered as model thread 0) and may spawn
+/// further model threads via [`thread::spawn`]; it must join them all
+/// before returning. Panics (with the failure message) on deadlock,
+/// livelock, or any thread panic.
+pub fn check_with_seed<F: FnOnce()>(seed: u64, f: F) {
+    let inner = Arc::new(Inner {
+        state: StdMutex::new(Sched {
+            // xorshift must never be seeded with 0.
+            rng: seed | 1,
+            threads: vec![Run::Runnable],
+            owners: Vec::new(),
+            next_cv: 0,
+            current: 0,
+            steps: 0,
+            failure: None,
+        }),
+        cv: StdCondvar::new(),
+    });
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner), 0)));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    {
+        // Unblock any stragglers (they will observe the failure and
+        // unwind) so their OS threads do not hang around.
+        let mut s = inner.locked();
+        if result.is_err() && s.failure.is_none() {
+            s.failure = Some("model main thread panicked".to_string());
+        }
+        s.threads[0] = Run::Finished;
+        drop(s);
+        inner.cv.notify_all();
+    }
+    let failure = inner.locked().failure.clone();
+    match result {
+        Err(p) => {
+            if let Some(msg) = failure {
+                panic!("{msg}");
+            }
+            resume_unwind(p);
+        }
+        Ok(()) => {
+            if let Some(msg) = failure {
+                panic!("{msg}");
+            }
+            let leaked = inner
+                .locked()
+                .threads
+                .iter()
+                .skip(1)
+                .any(|r| *r != Run::Finished);
+            assert!(!leaked, "model closure returned with live model threads");
+        }
+    }
+}
+
+/// Explores `iters` seeded interleavings of `f`. On failure, re-panics
+/// with the failing iteration and seed so the schedule replays exactly.
+pub fn explore<F: Fn() + Sync>(name: &str, base_seed: u64, iters: usize, f: F) {
+    for i in 0..iters {
+        let seed = base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| check_with_seed(seed, &f))) {
+            eprintln!("model '{name}' failed at iteration {i}/{iters} (seed {seed:#x})");
+            resume_unwind(p);
+        }
+    }
+}
+
+/// Drop-in shaped instrumented `std::sync` primitives.
+pub mod sync {
+    use super::*;
+
+    /// Error type kept for `.lock().expect(...)` call-site compatibility;
+    /// the model never poisons.
+    #[derive(Debug)]
+    pub struct PoisonError;
+
+    /// A mutex whose blocking goes through the model scheduler when the
+    /// calling thread is part of a model run, and through `std` otherwise.
+    pub struct Mutex<T> {
+        inner: StdMutex<T>,
+        id: OnceLock<usize>,
+    }
+
+    /// RAII guard; logical release (and a scheduling point) on drop.
+    pub struct MutexGuard<'a, T> {
+        mx: &'a Mutex<T>,
+        g: Option<std::sync::MutexGuard<'a, T>>,
+        model: Option<(Arc<Inner>, usize, usize)>,
+    }
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                inner: StdMutex::new(value),
+                id: OnceLock::new(),
+            }
+        }
+
+        fn model_id(&self, inner: &Arc<Inner>) -> usize {
+            *self.id.get_or_init(|| inner.alloc_mutex())
+        }
+
+        pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError> {
+            match current_model() {
+                Some((inner, me)) => {
+                    let id = self.model_id(&inner);
+                    inner.yield_point(me);
+                    inner.acquire(me, id);
+                    // The model serializes threads, so with logical
+                    // ownership held the std lock is always free.
+                    let g = self
+                        .inner
+                        .try_lock()
+                        .expect("model owns the logical lock but std lock is held");
+                    Ok(MutexGuard {
+                        mx: self,
+                        g: Some(g),
+                        model: Some((inner, me, id)),
+                    })
+                }
+                None => match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        mx: self,
+                        g: Some(g),
+                        model: None,
+                    }),
+                    Err(_) => Err(PoisonError),
+                },
+            }
+        }
+
+        pub fn into_inner(self) -> Result<T, PoisonError> {
+            self.inner.into_inner().map_err(|_| PoisonError)
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.g.as_ref().expect("guard holds the lock")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.g.as_mut().expect("guard holds the lock")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Order matters: free the std lock before the logical release
+            // hands the token to a thread that will try_lock it.
+            self.g = None;
+            if let Some((inner, me, id)) = self.model.take() {
+                if std::thread::panicking() {
+                    // Release without a scheduling point: a panicking
+                    // thread must not park itself.
+                    let mut s = inner.locked();
+                    s.owners[id] = None;
+                    for r in s.threads.iter_mut() {
+                        if *r == Run::Mutex(id) {
+                            *r = Run::Runnable;
+                        }
+                    }
+                    drop(s);
+                    inner.cv.notify_all();
+                } else {
+                    inner.release(me, id);
+                }
+            }
+        }
+    }
+
+    /// Condvar counterpart to [`Mutex`]; same pass-through rule.
+    pub struct Condvar {
+        inner: StdCondvar,
+        id: OnceLock<usize>,
+    }
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar {
+                inner: StdCondvar::new(),
+                id: OnceLock::new(),
+            }
+        }
+
+        pub fn wait<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+        ) -> Result<MutexGuard<'a, T>, PoisonError> {
+            match guard.model.take() {
+                Some((inner, me, res)) => {
+                    let cv = *self.id.get_or_init(|| inner.alloc_cv());
+                    guard.g = None;
+                    inner.cv_wait(me, cv, res);
+                    let g = guard
+                        .mx
+                        .inner
+                        .try_lock()
+                        .expect("model owns the logical lock but std lock is held");
+                    guard.g = Some(g);
+                    guard.model = Some((inner, me, res));
+                    Ok(guard)
+                }
+                None => {
+                    let g = guard.g.take().expect("guard holds the lock");
+                    match self.inner.wait(g) {
+                        Ok(g) => {
+                            guard.g = Some(g);
+                            Ok(guard)
+                        }
+                        Err(_) => Err(PoisonError),
+                    }
+                }
+            }
+        }
+
+        pub fn notify_all(&self) {
+            if let Some((inner, me)) = current_model() {
+                let cv = *self.id.get_or_init(|| inner.alloc_cv());
+                inner.cv_notify(me, cv, true);
+            } else {
+                self.inner.notify_all();
+            }
+        }
+
+        pub fn notify_one(&self) {
+            if let Some((inner, me)) = current_model() {
+                let cv = *self.id.get_or_init(|| inner.alloc_cv());
+                inner.cv_notify(me, cv, false);
+            } else {
+                self.inner.notify_one();
+            }
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// `OnceLock`-shaped once-cell over the instrumented [`Mutex`], for
+    /// modeling lazy-init protocols (the `RowCache` planes).
+    pub struct OnceCell<T> {
+        slot: Mutex<Option<T>>,
+    }
+
+    impl<T> OnceCell<T> {
+        pub const fn new() -> Self {
+            OnceCell {
+                slot: Mutex::new(None),
+            }
+        }
+
+        /// First caller's `init` runs (under the cell's lock, like
+        /// `std::sync::OnceLock`); everyone else gets the stored value.
+        pub fn get_or_init_with<R>(&self, init: impl FnOnce() -> T, read: impl Fn(&T) -> R) -> R {
+            let mut slot = self.slot.lock().expect("once cell poisoned");
+            if slot.is_none() {
+                *slot = Some(init());
+            }
+            read(slot.as_ref().expect("just initialized"))
+        }
+    }
+
+    impl<T> Default for OnceCell<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// Instrumented atomics: every operation is a scheduling point, then
+    /// delegates to the real atomic (the model serializes threads, so the
+    /// delegation is trivially linearizable).
+    pub mod atomic {
+        use super::super::current_model;
+        pub use std::sync::atomic::Ordering;
+        use std::sync::atomic::{
+            AtomicBool as StdAtomicBool, AtomicU64 as StdAtomicU64, AtomicUsize as StdAtomicUsize,
+        };
+
+        fn point() {
+            if let Some((inner, me)) = current_model() {
+                inner.yield_point(me);
+            }
+        }
+
+        macro_rules! instrumented_atomic {
+            ($name:ident, $std:ident, $ty:ty) => {
+                pub struct $name {
+                    v: $std,
+                }
+
+                impl $name {
+                    pub const fn new(v: $ty) -> Self {
+                        $name { v: $std::new(v) }
+                    }
+                    pub fn load(&self, o: Ordering) -> $ty {
+                        point();
+                        self.v.load(o)
+                    }
+                    pub fn store(&self, val: $ty, o: Ordering) {
+                        point();
+                        self.v.store(val, o)
+                    }
+                }
+            };
+        }
+
+        instrumented_atomic!(AtomicUsize, StdAtomicUsize, usize);
+        instrumented_atomic!(AtomicU64, StdAtomicU64, u64);
+        instrumented_atomic!(AtomicBool, StdAtomicBool, bool);
+
+        impl AtomicUsize {
+            pub fn fetch_add(&self, val: usize, o: Ordering) -> usize {
+                point();
+                self.v.fetch_add(val, o)
+            }
+            pub fn fetch_sub(&self, val: usize, o: Ordering) -> usize {
+                point();
+                self.v.fetch_sub(val, o)
+            }
+        }
+
+        impl AtomicU64 {
+            pub fn fetch_add(&self, val: u64, o: Ordering) -> u64 {
+                point();
+                self.v.fetch_add(val, o)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Condvar, Mutex};
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn passthrough_outside_model() {
+        let m = Mutex::new(1);
+        *m.lock().expect("lock") += 1;
+        assert_eq!(*m.lock().expect("lock"), 2);
+        let a = AtomicUsize::new(0);
+        a.fetch_add(3, Ordering::SeqCst);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn counter_increments_are_serialized() {
+        explore("counter", 7, 50, || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().expect("worker");
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 3);
+        });
+    }
+
+    #[test]
+    fn mutex_protects_nonatomic_rmw() {
+        explore("mutex-rmw", 11, 50, || {
+            let m = Arc::new(Mutex::new(0u32));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock().expect("lock");
+                        let v = *g;
+                        *g = v + 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().expect("worker");
+            }
+            assert_eq!(*m.lock().expect("lock"), 2);
+        });
+    }
+
+    #[test]
+    fn condvar_handoff_completes() {
+        explore("cv-handoff", 13, 50, || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let h = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                *m.lock().expect("lock") = true;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut done = m.lock().expect("lock");
+            while !*done {
+                done = cv.wait(done).expect("wait");
+            }
+            drop(done);
+            h.join().expect("setter");
+        });
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // Waiting on a condvar nobody ever notifies must be reported as a
+        // deadlock, not hang the test suite.
+        let r = std::panic::catch_unwind(|| {
+            check_with_seed(3, || {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let p2 = Arc::clone(&pair);
+                let h = thread::spawn(move || {
+                    let (m, cv) = &*p2;
+                    let mut flagged = m.lock().expect("lock");
+                    while !*flagged {
+                        flagged = cv.wait(flagged).expect("wait");
+                    }
+                });
+                h.join().expect("waiter");
+            });
+        });
+        let msg = *r.expect_err("must fail").downcast::<String>().expect("msg");
+        assert!(msg.contains("deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn lost_update_race_is_found() {
+        // The canonical bug the scheduler must be able to expose: an
+        // unsynchronized read-modify-write losing an increment under at
+        // least one interleaving.
+        let mut lost = false;
+        for seed in 0..200u64 {
+            let r = std::panic::catch_unwind(|| {
+                check_with_seed(seed, || {
+                    let n = Arc::new(AtomicUsize::new(0));
+                    let hs: Vec<_> = (0..2)
+                        .map(|_| {
+                            let n = Arc::clone(&n);
+                            thread::spawn(move || {
+                                let v = n.load(Ordering::SeqCst);
+                                n.store(v + 1, Ordering::SeqCst);
+                            })
+                        })
+                        .collect();
+                    for h in hs {
+                        h.join().expect("worker");
+                    }
+                    assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+                });
+            });
+            if r.is_err() {
+                lost = true;
+                break;
+            }
+        }
+        assert!(lost, "scheduler never exposed the lost-update interleaving");
+    }
+}

@@ -26,8 +26,21 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+
+// The pool's sync primitives, cfg-gated behind type aliases: ordinary
+// builds use `std::sync` directly; `--features model` routes them through
+// the vendored `interleave` schedule-exploration harness so model tests
+// can shake thousands of interleavings of the claim/pending protocol.
+#[cfg(not(feature = "model"))]
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+#[cfg(not(feature = "model"))]
+use std::sync::{Condvar, Mutex};
+
+#[cfg(feature = "model")]
+use interleave::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(feature = "model")]
+use interleave::sync::{Condvar, Mutex};
 
 /// Number of worker threads a parallel call may use (pool workers plus the
 /// calling thread). Reads `RAYON_NUM_THREADS` once, then falls back to the
@@ -87,6 +100,57 @@ where
     )
 }
 
+/// A borrow of a parallel call's item closure with the borrow lifetime
+/// erased, so it can sit in a [`Task`] on the shared queue (whose type
+/// cannot name the caller's stack lifetime).
+///
+/// Contract, upheld by [`WorkerPool::run`]: the wrapper must not outlive
+/// the closure it was built from. `run` keeps the closure alive on the
+/// submitting thread's stack until the task's `pending` count reaches
+/// zero, and every [`call`](Self::call) happens inside a claimed item call
+/// that finishes before the matching `pending` decrement — so no access
+/// can see a dead referent.
+struct ErasedItemFn {
+    /// The closure, as a type- and lifetime-less data pointer.
+    data: *const (),
+    /// Monomorphized stub that casts `data` back to the concrete closure
+    /// type and calls it — a hand-rolled one-entry vtable. Same cost as
+    /// the `dyn Fn` it replaces: one indirect call per item.
+    call: unsafe fn(*const (), usize),
+}
+
+impl ErasedItemFn {
+    /// Erases `f`'s type and borrow lifetime. Safe on its own — only
+    /// [`call`](Self::call) can touch the referent.
+    fn erase<F: Fn(usize) + Sync>(f: &F) -> Self {
+        /// # Safety
+        ///
+        /// `data` must point to a live `F` (the one `erase` borrowed).
+        unsafe fn call_impl<F: Fn(usize)>(data: *const (), i: usize) {
+            // SAFETY: `data` came from `&F` in `erase` and the referent is
+            // still alive per the contract documented on the type.
+            unsafe { (*data.cast::<F>())(i) }
+        }
+        ErasedItemFn {
+            data: (f as *const F).cast::<()>(),
+            call: call_impl::<F>,
+        }
+    }
+
+    /// Calls the erased closure with item index `i`.
+    ///
+    /// # Safety
+    ///
+    /// The closure passed to [`erase`](Self::erase) must still be alive
+    /// for the whole call. Follows from the claim/pending protocol
+    /// documented on the type.
+    unsafe fn call(&self, i: usize) {
+        // SAFETY: forwarded to the caller — the referent is alive per the
+        // protocol above.
+        unsafe { (self.call)(self.data, i) }
+    }
+}
+
 /// One submitted parallel call: a lifetime-erased item closure plus the
 /// claim/completion counters workers coordinate through.
 struct Task {
@@ -95,11 +159,11 @@ struct Task {
     /// Items not yet finished; the submitter blocks until this hits zero.
     pending: AtomicUsize,
     len: usize,
-    /// Lifetime-erased pointer to the item closure. Only dereferenced for a
+    /// Lifetime-erased borrow of the item closure. Only reborrowed for a
     /// successfully claimed index, and the submitting caller keeps the
     /// referent alive until `pending` reaches zero — which cannot happen
     /// before every claimed item's closure call has returned.
-    func: *const (dyn Fn(usize) + Sync),
+    func: ErasedItemFn,
     /// First caught item-panic payload, resumed on the submitting thread so
     /// assertion messages survive the pool hop (as with real rayon).
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
@@ -123,8 +187,8 @@ impl Task {
             // SAFETY: `i < len` is claimed exactly once; the submitter keeps
             // the closure alive until `pending` reaches zero, and this
             // item's decrement below happens only after the call returns.
-            let f = unsafe { &*self.func };
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+            let call = || unsafe { self.func.call(i) };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(call)) {
                 let mut slot = self.panic_payload.lock().expect("panic slot poisoned");
                 slot.get_or_insert(payload);
             }
@@ -211,12 +275,11 @@ impl WorkerPool {
             let r = f(i);
             *slots[i].lock().expect("result slot poisoned") = Some(r);
         };
-        let obj: &(dyn Fn(usize) + Sync) = &fill;
-        // SAFETY: erases `obj`'s borrow lifetime. `run_erased` returns only
-        // after every item finished (`pending == 0`) and the task left the
-        // queue, so no dereference outlives `fill` (see `Task::func`).
-        let func: *const (dyn Fn(usize) + Sync) =
-            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(obj) };
+        // Erasing the borrow is safe on its own; `run_erased` below is what
+        // upholds the wrapper's contract: it returns only after every item
+        // finished (`pending == 0`) and the task left the queue, so no
+        // reborrow outlives `fill` (see `ErasedItemFn` and `Task::func`).
+        let func = ErasedItemFn::erase(&fill);
         let task = Arc::new(Task {
             next: AtomicUsize::new(0),
             pending: AtomicUsize::new(len),
@@ -279,6 +342,66 @@ impl Drop for WorkerPool {
 fn global_pool() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
     POOL.get_or_init(|| WorkerPool::new(current_num_threads().saturating_sub(1).max(1)))
+}
+
+/// Model-checking access to the pool's claim/pending protocol (only with
+/// `--features model`; see `tests/model.rs`). The production `Task` and
+/// its instrumented primitives run under the `interleave` scheduler, with
+/// model threads standing in for the long-lived pool workers.
+#[cfg(feature = "model")]
+pub mod model_support {
+    use super::*;
+
+    /// Runs `f` over `len` items exactly as [`WorkerPool::run`] does —
+    /// same [`Task`], same claim/pending/done protocol — but with
+    /// `workers` model threads plus the calling thread participating.
+    /// Returns the first captured item-panic payload, which `run_erased`
+    /// would resume on the submitter.
+    pub fn run_task<F: Fn(usize) + Sync>(
+        len: usize,
+        workers: usize,
+        f: F,
+    ) -> Option<Box<dyn std::any::Any + Send>> {
+        if len == 0 {
+            return None;
+        }
+        // The erasure contract (see `ErasedItemFn`) holds as in `run`:
+        // `f` outlives every access because each worker is joined below,
+        // and the submitter's own `work` call finishes before `f` drops.
+        let func = ErasedItemFn::erase(&f);
+        let task = Arc::new(Task {
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(len),
+            len,
+            func,
+            panic_payload: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let t = Arc::clone(&task);
+                interleave::thread::spawn(move || t.work())
+            })
+            .collect();
+        // The submitter is a full participant, exactly like `run_erased`.
+        task.work();
+        let mut done = task.done.lock().expect("task done flag poisoned");
+        while !*done {
+            done = task.done_cv.wait(done).expect("task done flag poisoned");
+        }
+        drop(done);
+        for h in handles {
+            h.join().expect("pool worker survived the task");
+        }
+        let payload = task
+            .panic_payload
+            .lock()
+            .expect("panic slot poisoned")
+            .take();
+        drop(task);
+        payload
+    }
 }
 
 /// Core executor: applies `f` to every index in `0..len` on the shared

@@ -1,0 +1,84 @@
+//! Schedule-exploration tests of the pool's claim/pending protocol.
+//!
+//! Run with `cargo test -p rayon --features model`; set
+//! `SND_MODEL_CHECK=1` to raise every model to 10 000 seeded
+//! interleavings. The production `Task::work` runs unmodified — its
+//! Mutex/Condvar/atomics are the instrumented `interleave` ones under
+//! this feature, so the scheduler controls every visible step.
+#![cfg(feature = "model")]
+
+use rayon::model_support::run_task;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn join_shape_claims_each_item_exactly_once() {
+    // rayon::join in miniature: two items, one extra worker racing the
+    // submitter for them. Every interleaving must run each item exactly
+    // once and complete (no lost `done` notification).
+    interleave::explore("pool-join", 0xA11CE, interleave::iterations(300), || {
+        let counts: Vec<AtomicUsize> = (0..2).map(|_| AtomicUsize::new(0)).collect();
+        let payload = run_task(2, 1, |i| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(payload.is_none(), "no item panicked");
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "item {i} claim count");
+        }
+    });
+}
+
+#[test]
+fn nested_tasks_complete_without_deadlock() {
+    // Nested fan-out (join inside join): the submitter of the inner task
+    // is a pool-side participant of the outer one. The claim protocol
+    // must stay live — the inner task always completes on its submitting
+    // thread even if no worker picks it up.
+    interleave::explore("pool-nested", 0xBEE5, interleave::iterations(200), || {
+        let total = Arc::new(AtomicUsize::new(0));
+        let t2 = Arc::clone(&total);
+        let payload = run_task(2, 1, move |_| {
+            let t3 = Arc::clone(&t2);
+            let inner = run_task(2, 1, move |_| {
+                t3.fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(inner.is_none());
+        });
+        assert!(payload.is_none());
+        assert_eq!(total.load(Ordering::SeqCst), 4, "2 outer items x 2 inner");
+    });
+}
+
+#[test]
+fn item_panic_is_captured_and_remaining_items_still_run() {
+    // The panic-safety guard (`catch_unwind` in `Task::work`): a
+    // panicking item must surface as a captured payload while `pending`
+    // still drains — otherwise the submitter waits on `done_cv` forever.
+    // Mutation check: deleting that guard turns this into a model
+    // deadlock (worker dies, `pending` never reaches zero), which the
+    // scheduler reports and the test fails.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence the expected panics
+    let result = std::panic::catch_unwind(|| {
+        interleave::explore("pool-panic", 0xDEAD, interleave::iterations(200), || {
+            let survivors = AtomicUsize::new(0);
+            let payload = run_task(2, 1, |i| {
+                if i == 0 {
+                    panic!("item 0 exploded");
+                }
+                survivors.fetch_add(1, Ordering::SeqCst);
+            });
+            let payload = payload.expect("the item panic must be captured");
+            assert_eq!(
+                payload.downcast_ref::<&str>(),
+                Some(&"item 0 exploded"),
+                "original payload survives the pool hop"
+            );
+            assert_eq!(survivors.load(Ordering::SeqCst), 1, "item 1 still ran");
+        });
+    });
+    std::panic::set_hook(prev_hook);
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+}

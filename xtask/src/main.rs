@@ -1,0 +1,64 @@
+//! `cargo xtask` — workspace automation, no external deps.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the [`snd_lint`] workspace rules; non-zero exit on any
+//!   unsuppressed finding. `--unsafe-report` additionally prints the
+//!   markdown inventory of every `unsafe` site with its `SAFETY:`
+//!   argument.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask/ → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives directly under the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--unsafe-report")),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--unsafe-report]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(unsafe_report: bool) -> ExitCode {
+    let root = workspace_root();
+    let ws = match snd_lint::Workspace::from_dir(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = ws.check();
+    if unsafe_report {
+        print!("{}", report.unsafe_inventory());
+        println!();
+    }
+    for f in &report.allowed {
+        println!("allowed: {f}");
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "xtask lint: {} file(s), {} finding(s), {} allowed, {} unsafe site(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.allowed.len(),
+        report.unsafe_sites.len()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
