@@ -87,6 +87,7 @@ pub fn k_medoids(distances: &[Vec<f64>], k: usize, max_iters: usize) -> MedoidCl
                 .enumerate()
                 .map(|(c, &m)| (c, distances[i][m]))
                 .min_by(|a, b| distance_cmp(a.1, b.1))
+                // lint:allow(no-unwrap) medoids is seeded with one element before assign() is ever called, so min_by sees a non-empty iterator
                 .expect("k >= 1");
             assignment[i] = best;
             cost += d;

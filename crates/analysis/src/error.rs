@@ -1,0 +1,61 @@
+//! Structured errors for the analysis workloads.
+//!
+//! The prediction and intervention entry points are driven from the CLI on
+//! user-supplied data, so degenerate inputs (an empty distance series, a
+//! zero-candidate search, an empty action pool) are *caller* errors, not
+//! invariant violations — they surface as [`AnalysisError`] values the CLI
+//! renders instead of panicking (the workspace `no-unwrap` lint rule covers
+//! this crate's library code).
+
+use std::fmt;
+
+/// A degenerate input to an analysis workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A distance series with no points cannot be extrapolated.
+    EmptySeries,
+    /// A candidate search over zero candidates has no answer.
+    NoCandidates,
+    /// A batch evaluator returned a different number of distances than it
+    /// was given candidates.
+    BatchSizeMismatch {
+        /// Candidates handed to the evaluator.
+        expected: usize,
+        /// Distances it returned.
+        got: usize,
+    },
+    /// A summary over zero samples has no mean.
+    EmptySample,
+    /// Predictions and targets must pair up one-to-one.
+    LengthMismatch {
+        /// Number of predictions supplied.
+        predictions: usize,
+        /// Number of target users.
+        targets: usize,
+    },
+    /// The intervention search was configured with an empty action pool.
+    NoActions,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::EmptySeries => write!(f, "cannot extrapolate an empty series"),
+            AnalysisError::NoCandidates => write!(f, "need at least one candidate"),
+            AnalysisError::BatchSizeMismatch { expected, got } => write!(
+                f,
+                "batch evaluator returned {got} distances for {expected} candidates"
+            ),
+            AnalysisError::EmptySample => write!(f, "cannot summarize an empty sample"),
+            AnalysisError::LengthMismatch {
+                predictions,
+                targets,
+            } => write!(f, "{predictions} predictions for {targets} targets"),
+            AnalysisError::NoActions => {
+                write!(f, "intervention search has an empty action pool")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}

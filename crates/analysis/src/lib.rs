@@ -7,8 +7,14 @@
 //!   d_{t+1})` and spike detection;
 //! * [`roc`] — ROC curves / AUC / TPR-at-FPR for ranking-based detection;
 //! * [`predict`] — the distance-based opinion predictor (series
-//!   extrapolation + randomized assignment search) and the experiment
-//!   harness shared with the non-distance baselines;
+//!   extrapolation + randomized assignment search over flip-list
+//!   candidates) and the experiment harness shared with the non-distance
+//!   baselines;
+//! * [`intervene`] — greedy/beam intervention search (edge edits,
+//!   stubborn-agent placement) scored by expected delta-SND drift over
+//!   simulated rollouts;
+//! * [`error`] — structured [`AnalysisError`]s the CLI surfaces instead
+//!   of panics;
 //! * [`cluster`] — the §9 future-work applications: k-medoids clustering,
 //!   1-NN classification and nearest-neighbor search of network states in
 //!   the metric space SND induces;
@@ -21,6 +27,8 @@
 
 pub mod anomaly;
 pub mod cluster;
+pub mod error;
+pub mod intervene;
 pub mod predict;
 pub mod resume;
 pub mod roc;
@@ -33,6 +41,10 @@ pub use anomaly::{
 };
 pub use cluster::{
     classify_1nn, k_medoids, nearest_neighbor, pairwise_distances, MedoidClustering,
+};
+pub use error::AnalysisError;
+pub use intervene::{
+    search_interventions, Intervention, InterventionConfig, InterventionPlan, PlannedAction,
 };
 pub use predict::{
     accuracy, distance_based_prediction, distance_based_prediction_batch, extrapolate_linear,

@@ -8,23 +8,35 @@
 //! 2. draws random opinion assignments for the target users;
 //! 3. keeps the assignment whose completed state sits closest to `d*`.
 //!
-//! The same harness drives every distance measure; SND uses
-//! [`crate::SndDistance`] / `OrderedSnd` so candidate evaluations share SSSP
-//! rows.
+//! A candidate is represented as a **flip-list** — the `(target, opinion)`
+//! assignment pairs — never as a materialized `NetworkState`, so a search
+//! over hundreds of candidates allocates `O(candidates · targets)`, not
+//! `O(candidates · n)`. The SND evaluator
+//! (`snd_core::CandidateEvaluator::price_candidates`) prices flip-lists
+//! directly against its anchored delta geometry; baseline measures that
+//! need a full state apply the flips into one reused buffer inside their
+//! closure.
+//!
+//! Degenerate inputs (empty series, zero candidates, a misbehaving batch
+//! evaluator) surface as [`AnalysisError`] values rather than panics.
 
 use rand::Rng;
 use snd_graph::NodeId;
 use snd_models::dynamics::random_opinion;
 use snd_models::{NetworkState, Opinion};
 
+use crate::error::AnalysisError;
+
 /// Linear extrapolation of the next value of a series (least squares over
-/// all points; with two points this is `2·d₂ − d₁`). Series must be
-/// non-empty; a single point extrapolates to itself.
-pub fn extrapolate_linear(series: &[f64]) -> f64 {
+/// all points; with two points this is `2·d₂ − d₁`). A single point
+/// extrapolates to itself; an empty series is an error.
+pub fn extrapolate_linear(series: &[f64]) -> Result<f64, AnalysisError> {
     let n = series.len();
-    assert!(n > 0, "cannot extrapolate an empty series");
+    if n == 0 {
+        return Err(AnalysisError::EmptySeries);
+    }
     if n == 1 {
-        return series[0];
+        return Ok(series[0]);
     }
     // Least-squares line over (0, y₀) … (n−1, y_{n−1}), evaluated at x = n.
     let xs_mean = (n as f64 - 1.0) / 2.0;
@@ -37,7 +49,7 @@ pub fn extrapolate_linear(series: &[f64]) -> f64 {
         den += dx * dx;
     }
     let slope = if den == 0.0 { 0.0 } else { num / den };
-    ys_mean + slope * (n as f64 - xs_mean)
+    Ok(ys_mean + slope * (n as f64 - xs_mean))
 }
 
 /// Selects `count` active users of `truth` uniformly at random with an
@@ -71,75 +83,72 @@ fn shuffle<T, R: Rng>(items: &mut [T], rng: &mut R) {
     }
 }
 
-/// Runs the randomized assignment search: evaluates `candidates` random
-/// opinion assignments for `targets` on top of `known` (the current state
-/// with target opinions blanked) and returns the assignment whose distance
-/// — computed by `eval` against the most recent complete state — is closest
-/// to the extrapolated `d_star`.
+/// Runs the randomized assignment search: draws `candidates` random opinion
+/// assignments for `targets`, prices each flip-list through `eval`, and
+/// returns the assignment whose distance is closest to the extrapolated
+/// `d_star` (earliest minimum wins; NaN gaps never displace an incumbent).
+///
+/// `eval` receives the candidate as `(target, opinion)` pairs in target
+/// order; composing with the known part of the current state (and, for
+/// ordered SND, the anchor→known base flips) is the closure's job.
 pub fn distance_based_prediction<F, R>(
     mut eval: F,
     d_star: f64,
-    known: &NetworkState,
     targets: &[NodeId],
     candidates: usize,
     rng: &mut R,
-) -> Vec<Opinion>
+) -> Result<Vec<Opinion>, AnalysisError>
 where
-    F: FnMut(&NetworkState) -> f64,
+    F: FnMut(&[(NodeId, Opinion)]) -> f64,
     R: Rng,
 {
-    assert!(candidates > 0, "need at least one candidate");
     let mut best: Option<(f64, Vec<Opinion>)> = None;
-    let mut candidate_state = known.clone();
+    let mut flips: Vec<(NodeId, Opinion)> =
+        targets.iter().map(|&t| (t, Opinion::Neutral)).collect();
     for _ in 0..candidates {
-        let assignment: Vec<Opinion> = targets.iter().map(|_| random_opinion(rng)).collect();
-        for (&t, &op) in targets.iter().zip(&assignment) {
-            candidate_state.set(t, op);
+        for f in flips.iter_mut() {
+            f.1 = random_opinion(rng);
         }
-        let d = eval(&candidate_state);
+        let d = eval(&flips);
         let gap = (d - d_star).abs();
         if best.as_ref().is_none_or(|(g, _)| gap < *g) {
-            best = Some((gap, assignment));
+            best = Some((gap, flips.iter().map(|&(_, op)| op).collect()));
         }
     }
-    best.expect("candidates > 0").1
+    match best {
+        Some((_, assignment)) => Ok(assignment),
+        None => Err(AnalysisError::NoCandidates),
+    }
 }
 
-/// Batch variant of [`distance_based_prediction`]: all candidate
-/// assignments are drawn up front (same RNG stream as the sequential
-/// search), materialized, and priced in one call — so a batch-capable
-/// evaluator (e.g. `OrderedSnd::distances_to`, which fans candidates out
-/// over the thread pool against one shared row cache) scores the whole
-/// search in parallel. Returns exactly the assignment the sequential
-/// search would pick.
+/// Batch variant of [`distance_based_prediction`]: all candidate flip-lists
+/// are drawn up front (same RNG stream as the sequential search) and priced
+/// in one call — so a batch-capable evaluator (e.g.
+/// `snd_core::CandidateEvaluator::price_candidates`, which fans flip-lists
+/// out over the thread pool against one shared anchor geometry) scores the
+/// whole search in parallel. No candidate state is ever materialized.
+/// Returns exactly the assignment the sequential search would pick.
 pub fn distance_based_prediction_batch<F, R>(
     eval_batch: F,
     d_star: f64,
-    known: &NetworkState,
     targets: &[NodeId],
     candidates: usize,
     rng: &mut R,
-) -> Vec<Opinion>
+) -> Result<Vec<Opinion>, AnalysisError>
 where
-    F: FnOnce(&[NetworkState]) -> Vec<f64>,
+    F: FnOnce(&[Vec<(NodeId, Opinion)>]) -> Vec<f64>,
     R: Rng,
 {
-    assert!(candidates > 0, "need at least one candidate");
-    let assignments: Vec<Vec<Opinion>> = (0..candidates)
-        .map(|_| targets.iter().map(|_| random_opinion(rng)).collect())
+    let mut assignments: Vec<Vec<(NodeId, Opinion)>> = (0..candidates)
+        .map(|_| targets.iter().map(|&t| (t, random_opinion(rng))).collect())
         .collect();
-    let states: Vec<NetworkState> = assignments
-        .iter()
-        .map(|assignment| {
-            let mut s = known.clone();
-            for (&t, &op) in targets.iter().zip(assignment) {
-                s.set(t, op);
-            }
-            s
-        })
-        .collect();
-    let distances = eval_batch(&states);
-    assert_eq!(distances.len(), candidates, "one distance per candidate");
+    let distances = eval_batch(&assignments);
+    if distances.len() != candidates {
+        return Err(AnalysisError::BatchSizeMismatch {
+            expected: candidates,
+            got: distances.len(),
+        });
+    }
     let best = distances
         .iter()
         .map(|d| (d - d_star).abs())
@@ -151,24 +160,38 @@ where
             Some((_, g)) if gap < g => Some((i, gap)),
             None => Some((i, gap)),
             _ => best,
-        })
-        .expect("candidates > 0")
-        .0;
-    assignments.into_iter().nth(best).expect("index in range")
+        });
+    match best {
+        Some((i, _)) => Ok(assignments
+            .swap_remove(i)
+            .into_iter()
+            .map(|(_, op)| op)
+            .collect()),
+        None => Err(AnalysisError::NoCandidates),
+    }
 }
 
 /// Fraction of targets predicted correctly against the true state.
-pub fn accuracy(predicted: &[Opinion], truth: &NetworkState, targets: &[NodeId]) -> f64 {
-    assert_eq!(predicted.len(), targets.len(), "one prediction per target");
+pub fn accuracy(
+    predicted: &[Opinion],
+    truth: &NetworkState,
+    targets: &[NodeId],
+) -> Result<f64, AnalysisError> {
+    if predicted.len() != targets.len() {
+        return Err(AnalysisError::LengthMismatch {
+            predictions: predicted.len(),
+            targets: targets.len(),
+        });
+    }
     if targets.is_empty() {
-        return 1.0;
+        return Ok(1.0);
     }
     let hits = targets
         .iter()
         .zip(predicted)
         .filter(|(&t, &p)| truth.opinion(t) == p)
         .count();
-    hits as f64 / targets.len() as f64
+    Ok(hits as f64 / targets.len() as f64)
 }
 
 /// Mean / standard deviation summary (sample std, as the paper reports).
@@ -182,8 +205,10 @@ pub struct SummaryStats {
 
 impl SummaryStats {
     /// Summarizes a non-empty sample.
-    pub fn from_samples(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty());
+    pub fn from_samples(samples: &[f64]) -> Result<Self, AnalysisError> {
+        if samples.is_empty() {
+            return Err(AnalysisError::EmptySample);
+        }
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let std = if samples.len() < 2 {
@@ -191,7 +216,7 @@ impl SummaryStats {
         } else {
             (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
         };
-        SummaryStats { mean, std }
+        Ok(SummaryStats { mean, std })
     }
 }
 
@@ -200,13 +225,15 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use snd_models::apply_flips;
 
     #[test]
     fn linear_extrapolation_extends_trend() {
-        assert!((extrapolate_linear(&[1.0, 2.0]) - 3.0).abs() < 1e-12);
-        assert!((extrapolate_linear(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
-        assert!((extrapolate_linear(&[0.0, 1.0, 2.0]) - 3.0).abs() < 1e-12);
-        assert!((extrapolate_linear(&[5.0]) - 5.0).abs() < 1e-12);
+        assert!((extrapolate_linear(&[1.0, 2.0]).unwrap() - 3.0).abs() < 1e-12);
+        assert!((extrapolate_linear(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((extrapolate_linear(&[0.0, 1.0, 2.0]).unwrap() - 3.0).abs() < 1e-12);
+        assert!((extrapolate_linear(&[5.0]).unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(extrapolate_linear(&[]), Err(AnalysisError::EmptySeries));
     }
 
     #[test]
@@ -247,9 +274,32 @@ mod tests {
         for &t in &targets {
             known.set(t, Opinion::Neutral);
         }
-        let eval = |s: &NetworkState| s.diff_count(&truth) as f64;
-        let predicted = distance_based_prediction(eval, 0.0, &known, &targets, 200, &mut rng);
-        assert_eq!(accuracy(&predicted, &truth, &targets), 1.0);
+        let eval =
+            |flips: &[(NodeId, Opinion)]| apply_flips(&known, flips).diff_count(&truth) as f64;
+        let predicted = distance_based_prediction(eval, 0.0, &targets, 200, &mut rng).unwrap();
+        assert_eq!(accuracy(&predicted, &truth, &targets).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn zero_candidates_is_an_error_not_a_panic() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let err = distance_based_prediction(|_| 0.0, 0.0, &[0u32], 0, &mut rng);
+        assert_eq!(err, Err(AnalysisError::NoCandidates));
+        let err = distance_based_prediction_batch(|_| Vec::new(), 0.0, &[0u32], 0, &mut rng);
+        assert_eq!(err, Err(AnalysisError::NoCandidates));
+    }
+
+    #[test]
+    fn short_batch_evaluator_is_reported() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let err = distance_based_prediction_batch(|_| vec![1.0], 0.0, &[0u32], 3, &mut rng);
+        assert_eq!(
+            err,
+            Err(AnalysisError::BatchSizeMismatch {
+                expected: 3,
+                got: 1
+            })
+        );
     }
 
     #[test]
@@ -261,28 +311,33 @@ mod tests {
         for &t in &targets {
             known.set(t, Opinion::Neutral);
         }
-        let eval = |s: &NetworkState| s.diff_count(&truth) as f64;
+        let eval =
+            |flips: &[(NodeId, Opinion)]| apply_flips(&known, flips).diff_count(&truth) as f64;
         let d_star = 1.5;
         let mut rng_a = SmallRng::seed_from_u64(11);
-        let sequential = distance_based_prediction(eval, d_star, &known, &targets, 40, &mut rng_a);
+        let sequential = distance_based_prediction(eval, d_star, &targets, 40, &mut rng_a).unwrap();
         let mut rng_b = SmallRng::seed_from_u64(11);
         let batch = distance_based_prediction_batch(
-            |states| states.iter().map(eval).collect(),
+            |cands| cands.iter().map(|c| eval(c)).collect(),
             d_star,
-            &known,
             &targets,
             40,
             &mut rng_b,
-        );
+        )
+        .unwrap();
         assert_eq!(sequential, batch);
     }
 
     #[test]
     fn summary_stats_match_hand_computation() {
-        let s = SummaryStats::from_samples(&[1.0, 2.0, 3.0]);
+        let s = SummaryStats::from_samples(&[1.0, 2.0, 3.0]).unwrap();
         assert!((s.mean - 2.0).abs() < 1e-12);
         assert!((s.std - 1.0).abs() < 1e-12);
-        let single = SummaryStats::from_samples(&[4.2]);
+        let single = SummaryStats::from_samples(&[4.2]).unwrap();
         assert_eq!(single.std, 0.0);
+        assert_eq!(
+            SummaryStats::from_samples(&[]),
+            Err(AnalysisError::EmptySample)
+        );
     }
 }

@@ -51,6 +51,7 @@ pub fn series_distances_checkpointed(
         .map(|t| {
             run.tiles
                 .pair(t - 1, t)
+                // lint:allow(no-unwrap) series_tiles_checkpointed returns a superdiagonal plan whose tiles cover every (t-1, t) pair by construction
                 .expect("superdiagonal plan covers every transition")
         })
         .collect())

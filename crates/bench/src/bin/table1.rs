@@ -18,11 +18,11 @@ use snd_analysis::{
 use snd_baselines::predict::{community_lp, detect_communities, nhood_voting};
 use snd_baselines::{Hamming, QuadForm, StateDistance, WalkDist};
 use snd_bench::harness::{banner, Args};
-use snd_core::{OrderedSnd, SndConfig, SndEngine};
+use snd_core::{CandidateEvaluator, OrderedSnd, SndConfig, SndEngine};
 use snd_data::{generate_series, simulate_twitter, SyntheticSeriesConfig, TwitterSimConfig};
-use snd_graph::CsrGraph;
+use snd_graph::{CsrGraph, NodeId};
 use snd_models::dynamics::VotingConfig;
-use snd_models::{NetworkState, Opinion};
+use snd_models::{flips_between, NetworkState, Opinion};
 
 const TARGETS: usize = 20;
 const CANDIDATES: usize = 100;
@@ -105,8 +105,8 @@ fn run_dataset(
     let snd_d1 = ord1.distance_to(&states[t - 2]);
     let ord2 = OrderedSnd::new(&engine, states[t - 2].clone());
     let snd_d2 = ord2.distance_to(&states[t - 1]);
-    let snd_dstar = extrapolate_linear(&[snd_d1, snd_d2]);
-    let anchored = OrderedSnd::new(&engine, states[t - 1].clone());
+    let snd_dstar = extrapolate_linear(&[snd_d1, snd_d2]).expect("two-point series");
+    let anchored = CandidateEvaluator::new(&engine, states[t - 1].clone());
 
     // Baseline distance measures extrapolate their own series.
     let ham = Hamming;
@@ -117,6 +117,7 @@ fn run_dataset(
             d.distance(&states[t - 3], &states[t - 2]),
             d.distance(&states[t - 2], &states[t - 1]),
         ])
+        .expect("two-point series")
     };
     let (ham_dstar, quad_dstar, walk_dstar) = (dstar_of(&ham), dstar_of(&quad), dstar_of(&walk));
 
@@ -131,33 +132,49 @@ fn run_dataset(
             known.set(u, Opinion::Neutral);
         }
 
-        // Batch search: the whole candidate set is priced in parallel
-        // against the anchored state's shared row cache; same result as
-        // the sequential search under the same RNG stream.
+        // Batch search: the whole candidate set is priced as flip-lists in
+        // parallel against the anchored delta geometry; same result as the
+        // sequential search under the same RNG stream.
+        let base = flips_between(anchored.anchor(), &known);
         let snd_pred = distance_based_prediction_batch(
-            |candidates| anchored.distances_to(candidates),
+            |cands| {
+                let full: Vec<Vec<(NodeId, Opinion)>> = cands
+                    .iter()
+                    .map(|c| base.iter().copied().chain(c.iter().copied()).collect())
+                    .collect();
+                anchored.price_candidates(&full)
+            },
             snd_dstar,
-            &known,
             &targets,
             CANDIDATES,
             &mut rng,
-        );
+        )
+        .expect("candidates > 0");
         acc.entry("SND")
             .or_default()
-            .push(accuracy(&snd_pred, truth, &targets));
+            .push(accuracy(&snd_pred, truth, &targets).expect("one prediction per target"));
 
         let mut run_baseline = |name: &'static str, d: &dyn StateDistance, dstar: f64| {
+            // Baseline measures need a full state: flips land in one
+            // reused buffer (every candidate assigns every target, so no
+            // reset between candidates is needed).
+            let mut buf = known.clone();
             let pred = distance_based_prediction(
-                |c| d.distance(&states[t - 1], c),
+                |flips: &[(NodeId, Opinion)]| {
+                    for &(u, op) in flips {
+                        buf.set(u, op);
+                    }
+                    d.distance(&states[t - 1], &buf)
+                },
                 dstar,
-                &known,
                 &targets,
                 CANDIDATES,
                 &mut rng,
-            );
+            )
+            .expect("candidates > 0");
             acc.entry(name)
                 .or_default()
-                .push(accuracy(&pred, truth, &targets));
+                .push(accuracy(&pred, truth, &targets).expect("one prediction per target"));
         };
         run_baseline("hamming", &ham, ham_dstar);
         run_baseline("quad-form", &quad, quad_dstar);
@@ -166,11 +183,11 @@ fn run_dataset(
         let nv = nhood_voting(graph, &known, &targets, &mut rng);
         acc.entry("nhood-voting")
             .or_default()
-            .push(accuracy(&nv, truth, &targets));
+            .push(accuracy(&nv, truth, &targets).expect("one prediction per target"));
         let lp = community_lp(&communities, &known, &targets, &mut rng);
         acc.entry("community-lp")
             .or_default()
-            .push(accuracy(&lp, truth, &targets));
+            .push(accuracy(&lp, truth, &targets).expect("one prediction per target"));
     }
 
     let order = [
@@ -183,7 +200,7 @@ fn run_dataset(
     ];
     let mut rows = Vec::new();
     for name in order {
-        let stats = SummaryStats::from_samples(&acc[name]);
+        let stats = SummaryStats::from_samples(&acc[name]).expect("reps >= 1");
         println!(
             "  {:<15} mu {:>6.2}%  sigma {:>5.2}",
             name,

@@ -6,20 +6,21 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use snd_analysis::series::processed_series;
 use snd_analysis::{
-    accuracy, anomaly_scores, distance_based_prediction, evaluate_detection, extrapolate_linear,
-    select_targets,
+    accuracy, anomaly_scores, distance_based_prediction_batch, evaluate_detection,
+    extrapolate_linear, search_interventions, select_targets, InterventionConfig,
 };
 use snd_baselines::{Hamming, QuadForm, StateDistance, WalkDist};
 use snd_core::{
-    auto_tile, ApproxConfig, ClusterSpec, OrderedSnd, ShardPlan, SndConfig, SndEngine, TileGrid,
-    TileSet,
+    auto_tile, ApproxConfig, CandidateEvaluator, ClusterSpec, OrderedSnd, ShardPlan, SndConfig,
+    SndEngine, TileGrid, TileSet,
 };
 use snd_data::{
     find_scenario, generate_series, registry, simulate_twitter, SyntheticSeries,
     SyntheticSeriesConfig, TwitterSimConfig,
 };
+use snd_graph::NodeId;
 use snd_models::dynamics::VotingConfig;
-use snd_models::{GroundCostConfig, NetworkState, Opinion};
+use snd_models::{flips_between, GroundCostConfig, NetworkState, Opinion};
 
 use crate::dataset::{Dataset, ModelRecord};
 
@@ -558,24 +559,106 @@ pub fn predict(args: &[String]) -> Result<(), String> {
     let engine = SndEngine::new(&graph, SndConfig::default());
     let d1 = OrderedSnd::new(&engine, states[t - 3].clone()).distance_to(&states[t - 2]);
     let d2 = OrderedSnd::new(&engine, states[t - 2].clone()).distance_to(&states[t - 1]);
-    let d_star = extrapolate_linear(&[d1, d2]);
+    let d_star = extrapolate_linear(&[d1, d2]).map_err(|e| e.to_string())?;
     println!("history: {d1:.2}, {d2:.2} -> d* = {d_star:.2}");
 
-    let anchored = OrderedSnd::new(&engine, states[t - 1].clone());
-    let predicted = distance_based_prediction(
-        |c| anchored.distance_to(c),
+    // Delta-priced candidate search: one anchored geometry, candidates as
+    // flip-lists (anchor→known base flips + the drawn target assignment;
+    // last-wins normalization lets the assignment override the blanked
+    // targets). Same RNG stream and selection rule as the sequential
+    // search, so the chosen assignment is identical.
+    let evaluator = CandidateEvaluator::new(&engine, states[t - 1].clone());
+    let base = flips_between(&states[t - 1], &known);
+    let predicted = distance_based_prediction_batch(
+        |cands| {
+            let full: Vec<Vec<(NodeId, Opinion)>> = cands
+                .iter()
+                .map(|c| base.iter().copied().chain(c.iter().copied()).collect())
+                .collect();
+            evaluator.price_candidates(&full)
+        },
         d_star,
-        &known,
         &targets,
         candidates,
         &mut rng,
-    );
-    let acc = accuracy(&predicted, truth, &targets);
+    )
+    .map_err(|e| e.to_string())?;
+    let acc = accuracy(&predicted, truth, &targets).map_err(|e| e.to_string())?;
     println!(
-        "predicted {} targets with {:.1}% accuracy ({} candidates)",
+        "predicted {} targets with {:.1}% accuracy ({} candidates, {} cached rows)",
         targets.len(),
         100.0 * acc,
-        candidates
+        candidates,
+        evaluator.cached_rows()
+    );
+    Ok(())
+}
+
+/// `snd intervene`: plan a budget of network edits (edge edits, stubborn
+/// placements) minimizing expected delta-SND drift on a registry scenario.
+pub fn intervene(args: &[String]) -> Result<(), String> {
+    let name: String =
+        opt(args, "--scenario").ok_or("missing --scenario NAME (see snd simulate --list)")?;
+    let mut scenario = find_scenario(&name)
+        .ok_or_else(|| format!("unknown scenario '{name}' (see snd simulate --list)"))?;
+    if let Some(nodes) = opt(args, "--nodes") {
+        scenario.nodes = nodes;
+    }
+    if let Some(steps) = opt(args, "--steps") {
+        scenario.steps = steps;
+    }
+    let seed = opt(args, "--seed").unwrap_or(7u64);
+    let defaults = InterventionConfig::default();
+    let cfg = InterventionConfig {
+        budget: opt(args, "--budget").unwrap_or(defaults.budget),
+        beam: opt(args, "--beam").unwrap_or(defaults.beam),
+        rollouts: opt(args, "--rollouts").unwrap_or(defaults.rollouts),
+        horizon: opt(args, "--horizon").unwrap_or(defaults.horizon),
+        seed,
+        ..defaults
+    };
+
+    // The scenario supplies the topology, the dynamics, and — by running
+    // it — a realistic current state to intervene on.
+    let series = scenario.run(seed).map_err(|e| e.to_string())?;
+    let graph = series.graph;
+    let current = series
+        .states
+        .last()
+        .cloned()
+        .ok_or("scenario produced no states")?;
+    let model = scenario
+        .model
+        .build(graph.node_count(), &graph)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "scenario '{}': {} nodes, intervening on the state after {} step(s)",
+        scenario.name,
+        graph.node_count(),
+        series.states.len() - 1
+    );
+
+    let plan = search_interventions(
+        &graph,
+        model.as_ref(),
+        &current,
+        &SndConfig::default(),
+        &cfg,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("baseline drift: {:.4}", plan.baseline_drift);
+    for (i, p) in plan.actions.iter().enumerate() {
+        println!("  {}. {} -> drift {:.4}", i + 1, p.action, p.drift);
+    }
+    let pct = if plan.baseline_drift > 0.0 {
+        100.0 * plan.final_drift / plan.baseline_drift
+    } else {
+        100.0
+    };
+    println!(
+        "plan: {} action(s), final drift {:.4} ({pct:.1}% of baseline)",
+        plan.actions.len(),
+        plan.final_drift
     );
     Ok(())
 }

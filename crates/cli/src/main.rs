@@ -11,6 +11,7 @@
 //! snd distance --data data.json --approx --epsilon 0.05  # certified interval
 //! snd anomaly --data data.json                           # score the series
 //! snd predict --data data.json                           # hide & recover opinions
+//! snd intervene --scenario voting --budget 2             # plan calming edits
 //! snd shard --data data.json --shard 0/2 \
 //!           --checkpoint part0.snd                       # one resumable shard
 //! snd shard merge --out matrix.json part0.snd part1.snd  # reassemble
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         "distance" => commands::distance(rest),
         "anomaly" => commands::anomaly(rest),
         "predict" => commands::predict(rest),
+        "intervene" => commands::intervene(rest),
         "shard" => commands::shard(rest),
         "--help" | "-h" | "help" => {
             print_usage();
@@ -63,6 +65,8 @@ fn print_usage() {
          \u{20}  snd anomaly  --data FILE [--top K] [--ground MODEL] [APPROX]\n\
          \u{20}      (--ground: agnostic | icc | ltc | a model family from --list)\n\
          \u{20}  snd predict  --data FILE [--targets K] [--candidates C]\n\
+         \u{20}  snd intervene --scenario NAME [--budget K] [--beam B] [--nodes N]\n\
+         \u{20}      [--steps T] [--rollouts R] [--horizon H] [--seed S]\n\
          \u{20}  snd shard    --data FILE --shard I/N --checkpoint FILE [--tile T] [APPROX]\n\
          \u{20}  snd shard merge --out FILE PART...\n\
          \n\

@@ -95,8 +95,8 @@ fn next_row_gen() -> u64 {
 /// Rows are `Arc`-shared: a cluster whose rows a transition provably
 /// cannot perturb (see [`ChangeIndex`]) carries its previous rows into
 /// the next bundle as an `O(1)` reference bump instead of an `O(n)` copy.
-struct OpGeometry {
-    geom: GroundGeometry,
+pub(crate) struct OpGeometry {
+    pub(crate) geom: GroundGeometry,
     /// Per-cluster clamped multi-source SSSP row (empty when rows are not
     /// cached: per-bin mode, lossy clamp domain, `HalfExactDiameter`).
     cluster_rows: Vec<Arc<Vec<u32>>>,
@@ -530,8 +530,8 @@ impl OpGeometry {
 /// unit of reuse — [`step`](Self::step) derives the next state's bundle
 /// from this one.
 pub struct DeltaStateGeometry {
-    pos: OpGeometry,
-    neg: OpGeometry,
+    pub(crate) pos: OpGeometry,
+    pub(crate) neg: OpGeometry,
 }
 
 impl DeltaStateGeometry {

@@ -100,7 +100,7 @@ pub use batch::DistanceMatrix;
 pub use config::{ClusterSpec, GammaPolicy, SndConfig};
 pub use delta::{DeltaStateGeometry, SeriesEvaluator, REPAIR_EDGE_FRACTION};
 pub use engine::{SndBreakdown, SndEngine, StateGeometry};
-pub use ordered::OrderedSnd;
+pub use ordered::{CandidateEvaluator, OrderedSnd};
 pub use shard::{
     auto_tile, states_fingerprint, ShardError, ShardPlan, TileGrid, TileSet, DEFAULT_TILE,
 };

@@ -151,6 +151,33 @@ fn compute_row(g: &CsrGraph, geom: &GroundGeometry, reverse: bool, node: NodeId)
     })
 }
 
+/// The lighter histogram's bank inputs for one classified EMD\* term —
+/// whatever [`solve_reduced_term`] needs to reproduce the bank columns of
+/// the full classification, supplied by either classification route (the
+/// `O(n)` state scan in [`emd_star_term`], or the `O(flips)` derivation in
+/// [`crate::ordered::CandidateEvaluator`]).
+pub(crate) enum BankBins {
+    /// `total_p == total_q`: no surplus, no bank columns at all.
+    Balanced,
+    /// Per-bin geometry: the lighter side's active bins, ascending. May be
+    /// empty (the uniform-spread degenerate case is handled in the solve).
+    PerBin(Vec<NodeId>),
+    /// Cluster geometry: the lighter side's *full* (unreduced) per-cluster
+    /// masses, already scaled.
+    Cluster(Vec<Mass>),
+}
+
+/// One EMD\* term after Lemma 1/2 classification, ready to assemble and
+/// solve. Both residual lists are ascending (the classification order the
+/// bit-identity discipline pins down); totals are scaled masses.
+pub(crate) struct ReducedTerm {
+    pub residual_p: Vec<NodeId>,
+    pub residual_q: Vec<NodeId>,
+    pub total_p: Mass,
+    pub total_q: Mass,
+    pub banks: BankBins,
+}
+
 /// Computes one EMD\* term `EMD*(Pᵒᵖ, Qᵒᵖ, D(ground, op))` where the ground
 /// geometry was built from the same state/opinion. `cache` (optional) reuses
 /// SSSP rows across calls sharing this geometry — a shared reference, so
@@ -171,7 +198,6 @@ pub fn emd_star_term(
     assert_eq!(q_state.len(), n, "state size mismatch");
     let scale = config.scale;
     let nc = clustering.cluster_count();
-    let nb = config.banks_per_cluster.max(1);
 
     // Classify users; Lemma 2 leaves only the symmetric difference.
     let mut residual_p: Vec<NodeId> = Vec::new();
@@ -199,6 +225,62 @@ pub fn emd_star_term(
     }
     let total_p = active_p.len() as u64 * scale;
     let total_q = active_q.len() as u64 * scale;
+    let p_is_lighter = total_p < total_q;
+    let banks = if total_p == total_q {
+        BankBins::Balanced
+    } else if geom.per_bin {
+        BankBins::PerBin(if p_is_lighter { active_p } else { active_q })
+    } else {
+        let counts = if p_is_lighter {
+            &cluster_count_p
+        } else {
+            &cluster_count_q
+        };
+        BankBins::Cluster(counts.iter().map(|&c| c * scale).collect())
+    };
+    solve_reduced_term(
+        g,
+        clustering,
+        geom,
+        op,
+        config,
+        cache,
+        ReducedTerm {
+            residual_p,
+            residual_q,
+            total_p,
+            total_q,
+            banks,
+        },
+    )
+}
+
+/// Assembles and solves one classified EMD\* term: bank capacities from
+/// the lighter side's inputs, orientation (banks always columns), one SSSP
+/// row per heavy-side residual node, exact transportation solve. This is
+/// the shared back half of [`emd_star_term`] — every classification route
+/// funnels through it, so a flip-derived [`ReducedTerm`] that matches the
+/// scan-derived one is priced through literally the same arithmetic.
+pub(crate) fn solve_reduced_term(
+    g: &CsrGraph,
+    clustering: &Clustering,
+    geom: &GroundGeometry,
+    op: Opinion,
+    config: &SndConfig,
+    cache: Option<&RowCache>,
+    term: ReducedTerm,
+) -> f64 {
+    let n = g.node_count();
+    let scale = config.scale;
+    let nc = clustering.cluster_count();
+    let nb = config.banks_per_cluster.max(1);
+    let ReducedTerm {
+        residual_p,
+        residual_q,
+        total_p,
+        total_q,
+        banks,
+    } = term;
     if total_p == 0 && total_q == 0 {
         return 0.0;
     }
@@ -210,31 +292,30 @@ pub fn emd_star_term(
     // histogram, each at distance `per_bin_gamma` from its bin; cluster
     // mode: `nb` banks per cluster at the precomputed γ / inter-cluster
     // distances.
-    let (bank_bins, bank_caps): (Vec<NodeId>, Vec<Mass>) = if delta == 0 {
-        (Vec::new(), Vec::new())
-    } else if geom.per_bin {
-        let bins = if p_is_lighter { &active_p } else { &active_q };
-        if bins.is_empty() {
-            // The lighter histogram is empty: the capacity rule degenerates
-            // to a uniform spread over every bin (matching the dense-path
-            // `proportional_split` fallback on all-zero weights).
-            let all: Vec<NodeId> = (0..n as NodeId).collect();
-            let caps = snd_emd::proportional_split(delta, &vec![1; n]);
-            (all, caps)
-        } else {
-            let masses = vec![scale; bins.len()];
-            (bins.clone(), snd_emd::proportional_split(delta, &masses))
+    let (bank_bins, bank_caps): (Vec<NodeId>, Vec<Mass>) = match banks {
+        BankBins::Balanced => {
+            debug_assert_eq!(delta, 0, "balanced term must carry no surplus");
+            (Vec::new(), Vec::new())
         }
-    } else {
-        let lighter_cluster_masses: Vec<Mass> = if p_is_lighter {
-            cluster_count_p.iter().map(|&c| c * scale).collect()
-        } else {
-            cluster_count_q.iter().map(|&c| c * scale).collect()
-        };
-        (
+        BankBins::PerBin(bins) => {
+            if bins.is_empty() {
+                // The lighter histogram is empty: the capacity rule
+                // degenerates to a uniform spread over every bin (matching
+                // the dense-path `proportional_split` fallback on all-zero
+                // weights).
+                let all: Vec<NodeId> = (0..n as NodeId).collect();
+                let caps = snd_emd::proportional_split(delta, &vec![1; n]);
+                (all, caps)
+            } else {
+                let masses = vec![scale; bins.len()];
+                let caps = snd_emd::proportional_split(delta, &masses);
+                (bins, caps)
+            }
+        }
+        BankBins::Cluster(lighter_cluster_masses) => (
             Vec::new(),
             bank_capacities_from_cluster_masses(delta, &lighter_cluster_masses, nb),
-        )
+        ),
     };
 
     // Orientation: banks always end up as columns (rows are the heavier

@@ -19,9 +19,17 @@ pub const LOSSY_CAST: &str = "lossy-cast";
 pub const SAFETY_COMMENT: &str = "safety-comment";
 
 /// Crates whose library code forbids `unwrap()`/`expect()` (L4): the
-/// load-bearing numeric core. CLI, analysis-layer plumbing, benches, and
-/// tests stay exempt.
-const NO_UNWRAP_CRATES: [&str; 4] = ["snd-core", "snd-graph", "snd-transport", "snd-emd"];
+/// load-bearing numeric core plus the analysis layer (its prediction and
+/// intervention entry points run on user-supplied CLI inputs, so
+/// degenerate data must surface as `AnalysisError`, not panics). CLI,
+/// benches, and tests stay exempt.
+const NO_UNWRAP_CRATES: [&str; 5] = [
+    "snd-core",
+    "snd-graph",
+    "snd-transport",
+    "snd-emd",
+    "snd-analysis",
+];
 
 /// Crates whose mass-and-cost arithmetic is covered by L5.
 const LOSSY_CAST_CRATES: [&str; 2] = ["snd-transport", "snd-emd"];

@@ -76,6 +76,40 @@ impl StateDelta {
         }
     }
 
+    /// Computes the delta from `anchor` to `anchor ⊕ flips` without ever
+    /// materializing the flipped state. `flips` is a candidate flip-list:
+    /// `(node, new opinion)` entries in any order, later entries winning on
+    /// duplicate nodes, entries equal to the anchor opinion ignored. The
+    /// result — flipped set and touched-edge set alike — is identical to
+    /// `StateDelta::between(g, anchor, b)` where `b` is `anchor` with the
+    /// flips applied. `O(Σ deg(flips))` instead of `O(n + …)`: the
+    /// candidate-search workloads price hundreds of flip-lists against one
+    /// anchor and must not pay a full-state scan (or clone) per candidate.
+    pub fn from_flips(g: &CsrGraph, anchor: &NetworkState, flips: &[(NodeId, Opinion)]) -> Self {
+        assert_eq!(anchor.len(), g.node_count(), "state/graph size mismatch");
+        let flips = normalize_flips(anchor, flips);
+        let mut touched: Vec<EdgeId> = Vec::new();
+        let mut flipped = Vec::with_capacity(flips.len());
+        for &(x, op) in &flips {
+            flipped.push(x);
+            touched.extend(g.out_edges(x).map(|(e, _)| e));
+            touched.extend(g.in_edges(x).map(|(e, _)| e));
+            // Same receiver-side rule as `between`: an activity change
+            // spills to every in-edge of every out-neighbor.
+            if anchor.opinion(x).is_active() != op.is_active() {
+                for &v in g.out_neighbors(x) {
+                    touched.extend(g.in_edges(v).map(|(e, _)| e));
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        StateDelta {
+            flipped,
+            touched_edges: touched,
+        }
+    }
+
     /// True when the two states are identical (nothing to reprice).
     pub fn is_empty(&self) -> bool {
         self.flipped.is_empty()
@@ -92,6 +126,56 @@ impl StateDelta {
     pub fn touched_edges(&self) -> &[EdgeId] {
         &self.touched_edges
     }
+}
+
+/// Normalizes a candidate flip-list against its anchor: sorted by node
+/// ascending, duplicate nodes resolved last-wins, entries equal to the
+/// anchor's opinion dropped. The result is the canonical set of real
+/// changes — exactly the `flipped()` set (with new opinions attached) of
+/// the state the flips describe.
+pub fn normalize_flips(
+    anchor: &NetworkState,
+    flips: &[(NodeId, Opinion)],
+) -> Vec<(NodeId, Opinion)> {
+    let mut out: Vec<(usize, NodeId, Opinion)> = flips
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, op))| (i, u, op))
+        .collect();
+    // Stable order by node; among duplicates the *latest* entry wins.
+    out.sort_by_key(|&(i, u, _)| (u, i));
+    let mut dedup: Vec<(NodeId, Opinion)> = Vec::with_capacity(out.len());
+    for (_, u, op) in out {
+        match dedup.last_mut() {
+            Some(last) if last.0 == u => last.1 = op,
+            _ => dedup.push((u, op)),
+        }
+    }
+    dedup.retain(|&(u, op)| anchor.opinion(u) != op);
+    dedup
+}
+
+/// Applies a flip-list to a state, returning the flipped copy (last entry
+/// wins on duplicate nodes). The materializing counterpart of
+/// [`StateDelta::from_flips`] — used where a real [`NetworkState`] is
+/// unavoidable (simulation rollouts, reference-path comparisons).
+pub fn apply_flips(anchor: &NetworkState, flips: &[(NodeId, Opinion)]) -> NetworkState {
+    let mut s = anchor.clone();
+    for &(u, op) in flips {
+        s.set(u, op);
+    }
+    s
+}
+
+/// The flip-list carrying `anchor` to `target`: every differing node with
+/// its `target` opinion, ascending. The inverse of [`apply_flips`] —
+/// `apply_flips(anchor, &flips_between(anchor, target)) == target`.
+pub fn flips_between(anchor: &NetworkState, target: &NetworkState) -> Vec<(NodeId, Opinion)> {
+    assert_eq!(anchor.len(), target.len(), "state size mismatch");
+    (0..anchor.len() as NodeId)
+        .filter(|&u| anchor.opinion(u) != target.opinion(u))
+        .map(|u| (u, target.opinion(u)))
+        .collect()
 }
 
 /// Re-derives the cost of the `touched` edges for `(state, op)` in place,
@@ -217,6 +301,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn from_flips_matches_between_on_random_flip_lists() {
+        // The compact flip-list constructor must agree with `between`
+        // applied to the materialized state — flipped set and touched-edge
+        // set alike — including messy inputs: unsorted, duplicated
+        // (last-wins), and containing no-op entries.
+        let mut rng = SmallRng::seed_from_u64(2024);
+        for trial in 0..40 {
+            let n = 5 + trial % 18;
+            let g = generators::erdos_renyi_gnp(n, 0.3, true, &mut rng);
+            let anchor = random_state(n, &mut rng);
+            let mut flips: Vec<(NodeId, Opinion)> = (0..1 + trial % 5)
+                .map(|_| {
+                    let u = rng.gen_range(0..n as NodeId);
+                    (u, Opinion::from_value(rng.gen_range(-1..=1)))
+                })
+                .collect();
+            if trial % 3 == 0 {
+                // Duplicate a node with a different opinion: last wins.
+                let (u, op) = flips[0];
+                flips.push((u, op.opposite()));
+            }
+            if trial % 4 == 0 {
+                // Explicit no-op entry: same opinion as the anchor.
+                let u = rng.gen_range(0..n as NodeId);
+                flips.push((u, anchor.opinion(u)));
+            }
+            let applied = apply_flips(&anchor, &flips);
+            let via_flips = StateDelta::from_flips(&g, &anchor, &flips);
+            let via_between = StateDelta::between(&g, &anchor, &applied);
+            assert_eq!(via_flips, via_between, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn normalize_flips_is_last_wins_and_drops_noops() {
+        let anchor = NetworkState::from_values(&[1, 0, -1]);
+        let flips = vec![
+            (2, Opinion::Positive),
+            (0, Opinion::Positive), // no-op: anchor already positive
+            (2, Opinion::Neutral),  // overrides the first entry for node 2
+            (1, Opinion::Negative),
+        ];
+        let norm = normalize_flips(&anchor, &flips);
+        assert_eq!(
+            norm,
+            vec![(1, Opinion::Negative), (2, Opinion::Neutral)],
+            "ascending, last-wins, no-ops dropped"
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod process;
 pub mod state;
 
 pub use agnostic::AgnosticPenalties;
-pub use delta::{update_edge_costs, StateDelta};
+pub use delta::{apply_flips, flips_between, normalize_flips, update_edge_costs, StateDelta};
 pub use error::ModelError;
 pub use ground::{edge_costs, prob_to_cost, GroundCostConfig, SpreadingModel};
 pub use icc::IccParams;

@@ -10,10 +10,11 @@ use snd::analysis::{
     accuracy, distance_based_prediction_batch, extrapolate_linear, select_targets,
 };
 use snd::baselines::predict::{community_lp, detect_communities, nhood_voting};
-use snd::core::{OrderedSnd, SndConfig, SndEngine};
+use snd::core::{CandidateEvaluator, SndConfig, SndEngine};
 use snd::data::{generate_series, SyntheticSeriesConfig};
+use snd::graph::NodeId;
 use snd::models::dynamics::VotingConfig;
-use snd::models::Opinion;
+use snd::models::{flips_between, Opinion};
 
 fn main() {
     let mut rng = SmallRng::seed_from_u64(23);
@@ -46,37 +47,45 @@ fn main() {
     let t = states.len() - 1;
     let d1 = engine.distance(&states[t - 3], &states[t - 2]);
     let d2 = engine.distance(&states[t - 2], &states[t - 1]);
-    let d_star = extrapolate_linear(&[d1, d2]);
+    let d_star = extrapolate_linear(&[d1, d2]).expect("two-point series");
     println!("recent SND distances: {d1:.2}, {d2:.2}  ->  d* = {d_star:.2}");
 
-    // Randomized assignment search: the candidate batch is priced in
-    // parallel against the anchor's shared SSSP row cache.
-    let ordered = OrderedSnd::new(&engine, states[t - 1].clone());
+    // Randomized assignment search: every candidate is a flip-list priced
+    // in parallel against the anchor's delta geometry — no candidate state
+    // is ever materialized.
+    let evaluator = CandidateEvaluator::new(&engine, states[t - 1].clone());
+    let base = flips_between(&states[t - 1], &known);
     let predicted = distance_based_prediction_batch(
-        |candidates| ordered.distances_to(candidates),
+        |cands| {
+            let full: Vec<Vec<(NodeId, Opinion)>> = cands
+                .iter()
+                .map(|c| base.iter().copied().chain(c.iter().copied()).collect())
+                .collect();
+            evaluator.price_candidates(&full)
+        },
         d_star,
-        &known,
         &targets,
         100,
         &mut rng,
-    );
-    let snd_acc = accuracy(&predicted, &truth, &targets);
+    )
+    .expect("candidates > 0");
+    let snd_acc = accuracy(&predicted, &truth, &targets).expect("one prediction per target");
     println!(
         "SND-based prediction accuracy:      {:.1}%",
         100.0 * snd_acc
     );
-    println!("(cached SSSP rows: {})", ordered.cached_rows());
+    println!("(cached SSSP rows: {})", evaluator.cached_rows());
 
     // Baselines.
     let nv = nhood_voting(&series.graph, &known, &targets, &mut rng);
     println!(
         "nhood-voting accuracy:              {:.1}%",
-        100.0 * accuracy(&nv, &truth, &targets)
+        100.0 * accuracy(&nv, &truth, &targets).expect("one prediction per target")
     );
     let communities = detect_communities(&series.graph, &mut rng);
     let lp = community_lp(&communities, &known, &targets, &mut rng);
     println!(
         "community-lp accuracy:              {:.1}%",
-        100.0 * accuracy(&lp, &truth, &targets)
+        100.0 * accuracy(&lp, &truth, &targets).expect("one prediction per target")
     );
 }

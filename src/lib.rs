@@ -83,9 +83,11 @@
 //!   automatic fresh-rebuild fallback on high-churn transitions — exact
 //!   (bit-identical to the sequential reference) in every regime, and at
 //!   most two geometry bundles live at a time.
-//! * [`OrderedSnd::distances_to`](core::OrderedSnd::distances_to) — a
-//!   candidate batch priced in parallel against one anchored ground state
-//!   (the opinion-prediction search loop).
+//! * [`CandidateEvaluator::price_candidates`](core::CandidateEvaluator::price_candidates)
+//!   — a batch of flip-list candidates priced in parallel against one
+//!   anchored delta geometry (the opinion-prediction search loop and the
+//!   [`analysis::intervene`] planner), bit-identical to the scratch
+//!   [`OrderedSnd`](core::OrderedSnd) reference.
 //!
 //! ```
 //! use snd::core::{SndConfig, SndEngine};

@@ -8,10 +8,11 @@ use snd::analysis::{
     select_targets, top_k_anomalies,
 };
 use snd::baselines::{Hamming, StateDistance};
-use snd::core::{OrderedSnd, SndConfig, SndEngine};
+use snd::core::{CandidateEvaluator, OrderedSnd, SndConfig, SndEngine};
 use snd::data::{generate_series, simulate_twitter, SyntheticSeriesConfig, TwitterSimConfig};
+use snd::graph::NodeId;
 use snd::models::dynamics::VotingConfig;
-use snd::models::Opinion;
+use snd::models::{flips_between, Opinion};
 
 fn anomaly_series() -> snd::data::SyntheticSeries {
     generate_series(&SyntheticSeriesConfig {
@@ -105,8 +106,8 @@ fn prediction_pipeline_beats_coin_flipping() {
     let engine = SndEngine::new(&series.graph, SndConfig::default());
     let d1 = OrderedSnd::new(&engine, states[t - 3].clone()).distance_to(&states[t - 2]);
     let d2 = OrderedSnd::new(&engine, states[t - 2].clone()).distance_to(&states[t - 1]);
-    let d_star = extrapolate_linear(&[d1, d2]);
-    let anchored = OrderedSnd::new(&engine, states[t - 1].clone());
+    let d_star = extrapolate_linear(&[d1, d2]).expect("two-point series");
+    let anchored = CandidateEvaluator::new(&engine, states[t - 1].clone());
 
     // Average accuracy over a few repetitions to avoid single-draw flukes.
     let mut total = 0.0;
@@ -117,15 +118,22 @@ fn prediction_pipeline_beats_coin_flipping() {
         for &u in &targets {
             known.set(u, Opinion::Neutral);
         }
+        // Delta-priced search: anchor→known base flips + the drawn
+        // assignment, last-wins normalized.
+        let base = flips_between(anchored.anchor(), &known);
         let predicted = distance_based_prediction(
-            |c| anchored.distance_to(c),
+            |flips: &[(NodeId, Opinion)]| {
+                let full: Vec<(NodeId, Opinion)> =
+                    base.iter().copied().chain(flips.iter().copied()).collect();
+                anchored.price(&full)
+            },
             d_star,
-            &known,
             &targets,
             60,
             &mut rng,
-        );
-        total += accuracy(&predicted, &truth, &targets);
+        )
+        .expect("candidates > 0");
+        total += accuracy(&predicted, &truth, &targets).expect("one prediction per target");
     }
     let mean = total / reps as f64;
     assert!(
