@@ -316,7 +316,16 @@ fn write_history(
         lo = million_interval.0,
         hi = million_interval.1,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    let path = snd_bench::scale_record::scale_json_path();
+    // The `"series"` member belongs to the scale_series bench — keep it
+    // when rewriting the ladder half of the file.
+    let json = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|old| snd_bench::scale_record::extract_series(&old))
+    {
+        Some(block) => snd_bench::scale_record::splice_series(&json, &block),
+        None => json,
+    };
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}:\n{json}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

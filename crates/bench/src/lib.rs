@@ -1,3 +1,4 @@
 //! Shared helpers for the experiment binaries; see `src/bin/` for the
 //! per-figure regenerators and `benches/` for criterion micro-benchmarks.
 pub mod harness;
+pub mod scale_record;

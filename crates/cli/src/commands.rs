@@ -311,9 +311,13 @@ fn engine_config(
     Ok(config)
 }
 
-/// `snd distance`: all measures between two states of a dataset.
+/// `snd distance`: all measures between two states of a dataset, or —
+/// with `--series` — every adjacent transition of the series.
 pub fn distance(args: &[String]) -> Result<(), String> {
     let path: String = opt(args, "--data").ok_or("missing --data FILE")?;
+    if flag(args, "--series") {
+        return distance_series(args, &path);
+    }
     let t1 = opt(args, "--t1").unwrap_or(0usize);
     let t2 = opt(args, "--t2").unwrap_or(1usize);
     let dataset = Dataset::load(&path)?;
@@ -341,6 +345,49 @@ pub fn distance(args: &[String]) -> Result<(), String> {
     println!("hamming    = {:.4}", Hamming.distance(a, b));
     println!("quad-form  = {:.4}", QuadForm::new(&graph).distance(a, b));
     println!("walk-dist  = {:.4}", WalkDist::new(&graph).distance(a, b));
+    Ok(())
+}
+
+/// `snd distance --series`: SND for every adjacent transition. Under
+/// `--approx` this runs the delta-sketched certified series path
+/// (`SndEngine::series_intervals`) — one sketch bundle repaired along the
+/// series — and prints each transition's `[lower, upper]`; without it,
+/// the exact delta series.
+fn distance_series(args: &[String], path: &str) -> Result<(), String> {
+    let dataset = Dataset::load(path)?;
+    let graph = dataset.graph();
+    let states = dataset.network_states();
+    if states.len() < 2 {
+        return Err("need at least 2 states for --series".into());
+    }
+    let config = engine_config(args, &graph, dataset.model.as_ref())?;
+    let approx_on = config.approx.is_some();
+    let engine = SndEngine::new(&graph, config);
+    if approx_on {
+        let ivs = engine
+            .series_intervals(&states)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{:>4} {:>10} {:>10} {:>10} {:>10}",
+            "t", "SND", "lower", "upper", "width"
+        );
+        for (t, iv) in ivs.iter().enumerate() {
+            println!(
+                "{:>4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                t + 1,
+                iv.midpoint(),
+                iv.lower,
+                iv.upper,
+                iv.width()
+            );
+        }
+    } else {
+        let series = engine.series_distances(&states);
+        println!("{:>4} {:>10}", "t", "SND");
+        for (t, d) in series.iter().enumerate() {
+            println!("{:>4} {:>10.4}", t + 1, d);
+        }
+    }
     Ok(())
 }
 

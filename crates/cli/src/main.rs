@@ -9,6 +9,7 @@
 //! snd distance --data data.json --t1 0 --t2 1            # all measures
 //! snd distance --data data.json --ground icc             # ICC ground costs
 //! snd distance --data data.json --approx --epsilon 0.05  # certified interval
+//! snd distance --data data.json --approx --series        # certified series
 //! snd anomaly --data data.json                           # score the series
 //! snd predict --data data.json                           # hide & recover opinions
 //! snd intervene --scenario voting --budget 2             # plan calming edits
@@ -62,6 +63,7 @@ fn print_usage() {
          \u{20}  snd simulate --scenario NAME [--nodes N] [--steps T] [--seed S] --out FILE\n\
          \u{20}  snd simulate --list\n\
          \u{20}  snd distance --data FILE [--t1 I] [--t2 J] [--ground MODEL] [APPROX]\n\
+         \u{20}  snd distance --data FILE --series [--ground MODEL] [APPROX]\n\
          \u{20}  snd anomaly  --data FILE [--top K] [--ground MODEL] [APPROX]\n\
          \u{20}      (--ground: agnostic | icc | ltc | a model family from --list)\n\
          \u{20}  snd predict  --data FILE [--targets K] [--candidates C]\n\

@@ -46,19 +46,22 @@
 //! The tier supports the default [`ClusterSpec::PerBin`] bank mode only;
 //! cluster-bank modes report [`ApproxError::UnsupportedBankMode`].
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use snd_graph::{
-    bfs_partition, select_landmarks, Clustering, CsrGraph, GroupAggregate, LandmarkSketch, NodeId,
+    bfs_partition, quotient_graph, select_landmarks, Clustering, CsrGraph, GroupAggregate,
+    LandmarkSketch, NodeId,
 };
 use snd_models::{NetworkState, Opinion};
-use snd_transport::{solve_balanced, DenseCost, Mass};
+use snd_transport::{solve_balanced, DenseCost, Mass, TransportPlan};
 
 use snd_graph::{dial_bounded_scratch, Dist};
 
 use crate::banks::GroundGeometry;
 use crate::config::{ClusterSpec, SndConfig};
+use crate::delta::SketchRows;
 use crate::sparse::{self, with_sssp_scratch, RowCache};
 
 /// Configuration of the approximate tier (attached to
@@ -84,6 +87,10 @@ pub struct ApproxConfig {
     /// sketch tier. Interval queries
     /// ([`distance_interval`](crate::SndEngine::distance_interval)) ignore
     /// this and always run the approximate machinery.
+    ///
+    /// The default is the measured `BENCH_scale.json` crossover: below
+    /// 5·10⁴ nodes the sketch tier runs at 0.84–0.90× of exact, at the
+    /// crossover and above it wins (2.9× at 5·10⁴, 5.1× at 10⁵).
     pub min_nodes: usize,
 }
 
@@ -93,7 +100,7 @@ impl Default for ApproxConfig {
             epsilon: 0.05,
             max_landmarks: 8,
             budget: usize::MAX,
-            min_nodes: 100_000,
+            min_nodes: 50_000,
         }
     }
 }
@@ -172,8 +179,24 @@ impl SndInterval {
 }
 
 /// Initial quotient granularity: residual users are contracted into at
-/// most this many topology communities before refinement.
+/// most this many topology communities before refinement, regardless of
+/// graph size — the envelope transportation solves stay bounded even at
+/// n ≥ 10⁷ because seeding always happens on the coarsest level.
 const QUOTIENT_CLUSTERS: usize = 64;
+
+/// Branching factor between adjacent quotient levels: each coarse cluster
+/// is the union of about this many clusters of the next finer level, so a
+/// refinement split replaces one group by a bounded handful of children.
+const QUOTIENT_FANOUT: usize = 8;
+
+/// Target member count of the finest level's clusters. Depth grows (up to
+/// [`MAX_QUOTIENT_LEVELS`]) until the expected finest cluster size drops
+/// to this, so splits stay topology-aware almost down to singletons.
+const QUOTIENT_LEAF: usize = 256;
+
+/// Hierarchy depth cap: 64·8⁵ ≈ 2·10⁶ finest clusters cover n ≈ 5·10⁸ at
+/// [`QUOTIENT_LEAF`] granularity — beyond any graph this engine prices.
+const MAX_QUOTIENT_LEVELS: usize = 6;
 
 /// First-ball stop budget for bounded row materialization, as a multiple
 /// of the row's own mass: the ball grows until it has settled this much
@@ -188,20 +211,75 @@ const BALL_CAPACITY_FACTOR: u64 = 8;
 const SINGLETON_INIT_MAX: usize = 1024;
 
 /// Topology-only sketch context, computed once per engine: the landmark
-/// node set and the quotient partition. Distance rows are per ground
-/// state and live in that state's [`RowCache`].
+/// node set and the recursive quotient hierarchy. Distance rows are per
+/// ground state and live in that state's [`RowCache`] (or ride a
+/// delta-repaired [`SketchRows`] bundle on the series path).
 #[derive(Debug)]
 pub(crate) struct ApproxCtx {
     pub(crate) landmarks: Vec<NodeId>,
-    pub(crate) quotient: Clustering,
+    /// Nested quotient hierarchy, coarsest first: every cluster of
+    /// `levels[d]` is a union of clusters of `levels[d + 1]` (built by
+    /// [`bfs_partition`] on the [`quotient_graph`] of the finer level and
+    /// composing labels). Seeding contracts by `levels[0]`; refinement
+    /// splits descend the hierarchy before falling back to positional
+    /// halves past the finest level.
+    pub(crate) levels: Vec<Clustering>,
+}
+
+impl ApproxCtx {
+    /// The coarsest level — the seeding quotient.
+    pub(crate) fn quotient(&self) -> &Clustering {
+        &self.levels[0]
+    }
 }
 
 pub(crate) fn build_ctx(g: &CsrGraph, approx: &ApproxConfig) -> ApproxCtx {
-    let n = g.node_count().max(1);
     ApproxCtx {
         landmarks: select_landmarks(g, approx.max_landmarks.max(1)),
-        quotient: bfs_partition(g, QUOTIENT_CLUSTERS.min(n)),
+        levels: build_levels(g),
     }
+}
+
+/// Builds the nested quotient hierarchy: a finest [`bfs_partition`] sized
+/// by [`QUOTIENT_LEAF`], then repeated [`quotient_graph`] + coarsening
+/// with composed labels until the top level fits [`QUOTIENT_CLUSTERS`].
+fn build_levels(g: &CsrGraph) -> Vec<Clustering> {
+    let n = g.node_count().max(1);
+    let mut fine = QUOTIENT_CLUSTERS;
+    let mut depth = 1;
+    while n.div_ceil(fine) > QUOTIENT_LEAF && depth < MAX_QUOTIENT_LEVELS {
+        fine *= QUOTIENT_FANOUT;
+        depth += 1;
+    }
+    let mut levels = vec![bfs_partition(g, fine.min(n))];
+    loop {
+        let composed = {
+            let finer = &levels[levels.len() - 1];
+            if finer.cluster_count() <= QUOTIENT_CLUSTERS {
+                break;
+            }
+            let q = quotient_graph(g, finer);
+            let target = (finer.cluster_count() / QUOTIENT_FANOUT).max(QUOTIENT_CLUSTERS);
+            let coarse_of = bfs_partition(&q, target);
+            let labels: Vec<u32> = finer
+                .labels
+                .iter()
+                .map(|&l| coarse_of.labels[l as usize])
+                .collect();
+            let c = Clustering::from_labels(&labels);
+            if c.cluster_count() >= finer.cluster_count() {
+                // A heavily disconnected quotient can refuse to contract
+                // (bfs_partition may exceed its target by one cluster per
+                // component); keep the certified machinery with a shallower
+                // hierarchy rather than loop.
+                break;
+            }
+            c
+        };
+        levels.push(composed);
+    }
+    levels.reverse();
+    levels
 }
 
 /// Returns the bank-mode name for [`ApproxError::UnsupportedBankMode`],
@@ -215,6 +293,226 @@ pub(crate) fn unsupported_bank_mode(config: &SndConfig) -> Option<String> {
         ClusterSpec::Single => Some("Single".into()),
     }
 }
+
+/// Whether `SND_APPROX_TRACE` diagnostics are on.
+pub(crate) fn trace_enabled() -> bool {
+    std::env::var_os("SND_APPROX_TRACE").is_some()
+}
+
+/// Process-global aggregate counters behind `SND_APPROX_TRACE`: per-term
+/// lines show individual refinements, this accumulates the run-level
+/// story (how many terms, how deep the escalation ladder went, how the
+/// sketch bundle was maintained) and is drained once per run by
+/// [`emit_trace_summary`].
+struct TraceStats {
+    terms: AtomicUsize,
+    tiny_exact: AtomicUsize,
+    rounds: AtomicUsize,
+    /// Deepest escalation per term: sketch-only / Dial ball / reball /
+    /// full exact row.
+    ladder: [AtomicUsize; 4],
+    sketch_repaired: AtomicUsize,
+    sketch_reused: AtomicUsize,
+    sketch_stale: AtomicUsize,
+    sketch_rebuilt: AtomicUsize,
+    /// Final relative gap per term: 0 / ≤1% / ≤5% / ≤20% / >20%.
+    gap_hist: [AtomicUsize; 5],
+    /// Wall-clock nanoseconds per cost phase (see the `PHASE_*` slots).
+    phase_ns: [AtomicU64; 5],
+}
+
+/// [`TraceStats::phase_ns`] slots: sketch build/repair (delta bundles),
+/// landmark row SSSPs (sketchless fetches), bounded Dial balls,
+/// envelope transportation solves, and exact singleton rows.
+pub(crate) const PHASE_SKETCH_MAINT: usize = 0;
+pub(crate) const PHASE_LANDMARK_ROWS: usize = 1;
+pub(crate) const PHASE_BALLS: usize = 2;
+pub(crate) const PHASE_SOLVES: usize = 3;
+pub(crate) const PHASE_EXACT_ROWS: usize = 4;
+
+/// Runs `f`, charging its wall time to `phase` when tracing is on.
+pub(crate) fn time_phase<T>(phase: usize, f: impl FnOnce() -> T) -> T {
+    if !trace_enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let out = f();
+    TRACE_STATS.phase_ns[phase].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+static TRACE_STATS: TraceStats = TraceStats {
+    terms: AtomicUsize::new(0),
+    tiny_exact: AtomicUsize::new(0),
+    rounds: AtomicUsize::new(0),
+    ladder: [
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+    ],
+    sketch_repaired: AtomicUsize::new(0),
+    sketch_reused: AtomicUsize::new(0),
+    sketch_stale: AtomicUsize::new(0),
+    sketch_rebuilt: AtomicUsize::new(0),
+    gap_hist: [
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+        AtomicUsize::new(0),
+    ],
+    phase_ns: [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ],
+};
+
+/// Records one priced term's ladder depth, round count, and final gap.
+fn record_term(rounds: usize, balls: usize, reballs: usize, exacts: usize, lo: f64, hi: f64) {
+    if !trace_enabled() {
+        return;
+    }
+    TRACE_STATS.terms.fetch_add(1, Ordering::Relaxed);
+    TRACE_STATS.rounds.fetch_add(rounds, Ordering::Relaxed);
+    let rung = if exacts > 0 {
+        3
+    } else if reballs > 0 {
+        2
+    } else if balls > 0 {
+        1
+    } else {
+        0
+    };
+    TRACE_STATS.ladder[rung].fetch_add(1, Ordering::Relaxed);
+    let rel = if hi > 0.0 { (hi - lo) / hi } else { 0.0 };
+    let bucket = if rel <= 0.0 {
+        0
+    } else if rel <= 0.01 {
+        1
+    } else if rel <= 0.05 {
+        2
+    } else if rel <= 0.2 {
+        3
+    } else {
+        4
+    };
+    TRACE_STATS.gap_hist[bucket].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records how a delta step maintained the 2·L sketch rows of one plane:
+/// rows repaired through the change batch, rows provably untouched and
+/// `Arc`-shared, and rows the feedback-driven policy left stale (parked
+/// outside the envelope instead of paying a repair).
+pub(crate) fn record_sketch_step(repaired: usize, reused: usize, stale: usize) {
+    if !trace_enabled() {
+        return;
+    }
+    TRACE_STATS
+        .sketch_repaired
+        .fetch_add(repaired, Ordering::Relaxed);
+    TRACE_STATS
+        .sketch_reused
+        .fetch_add(reused, Ordering::Relaxed);
+    TRACE_STATS.sketch_stale.fetch_add(stale, Ordering::Relaxed);
+}
+
+/// Records a fresh sketch build (initial bundle or high-churn fallback).
+pub(crate) fn record_sketch_rebuild(rows: usize) {
+    if !trace_enabled() {
+        return;
+    }
+    TRACE_STATS
+        .sketch_rebuilt
+        .fetch_add(rows, Ordering::Relaxed);
+}
+
+/// Emits (and resets) the per-run aggregate summary. The interval
+/// surfaces call this once per run, so a series prints one block instead
+/// of only the per-term lines.
+pub(crate) fn emit_trace_summary(context: &str) {
+    if !trace_enabled() {
+        return;
+    }
+    let take = |a: &AtomicUsize| a.swap(0, Ordering::Relaxed);
+    let terms = take(&TRACE_STATS.terms);
+    let tiny = take(&TRACE_STATS.tiny_exact);
+    let rounds = take(&TRACE_STATS.rounds);
+    let ladder: Vec<usize> = TRACE_STATS.ladder.iter().map(take).collect();
+    let repaired = take(&TRACE_STATS.sketch_repaired);
+    let reused = take(&TRACE_STATS.sketch_reused);
+    let stale = take(&TRACE_STATS.sketch_stale);
+    let rebuilt = take(&TRACE_STATS.sketch_rebuilt);
+    let gaps: Vec<usize> = TRACE_STATS.gap_hist.iter().map(take).collect();
+    let ms: Vec<f64> = TRACE_STATS
+        .phase_ns
+        .iter()
+        .map(|a| a.swap(0, Ordering::Relaxed) as f64 / 1e6)
+        .collect();
+    eprintln!(
+        "approx-summary [{context}]: terms={terms} (+{tiny} tiny-exact) \
+         refinement_rounds={rounds} ladder[sketch/ball/reball/exact]={}/{}/{}/{} \
+         sketch_rows[repaired/reused/stale/rebuilt]={repaired}/{reused}/{stale}/{rebuilt} \
+         gap_hist[0,\u{2264}1%,\u{2264}5%,\u{2264}20%,>20%]={}/{}/{}/{}/{} \
+         phase_ms[sketch/rows/balls/solves/exact]={:.0}/{:.0}/{:.0}/{:.0}/{:.0}",
+        ladder[0],
+        ladder[1],
+        ladder[2],
+        ladder[3],
+        gaps[0],
+        gaps[1],
+        gaps[2],
+        gaps[3],
+        gaps[4],
+        ms[0],
+        ms[1],
+        ms[2],
+        ms[3],
+        ms[4],
+    );
+}
+
+/// Adaptive-placement feedback out of one term: representatives of the
+/// worst `gap × flow` cells at convergence (hot spots the sketch should
+/// cover next) plus per-landmark usefulness credit (was the landmark the
+/// binding envelope of a hot cell). Indices in `landmark_useful` follow
+/// the landmark order the term was priced with.
+pub(crate) struct TermFeedback {
+    pub(crate) hot_nodes: Vec<NodeId>,
+    pub(crate) landmark_useful: Vec<bool>,
+}
+
+impl TermFeedback {
+    fn empty() -> TermFeedback {
+        TermFeedback {
+            hot_nodes: Vec::new(),
+            landmark_useful: Vec::new(),
+        }
+    }
+}
+
+/// One priced term: the certified interval plus adaptive feedback.
+pub(crate) struct TermOutcome {
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) feedback: TermFeedback,
+}
+
+impl TermOutcome {
+    fn exact(v: f64) -> TermOutcome {
+        TermOutcome {
+            lower: v,
+            upper: v,
+            feedback: TermFeedback::empty(),
+        }
+    }
+}
+
+/// How many of the worst cells feed [`TermFeedback`].
+const FEEDBACK_CELLS: usize = 8;
 
 /// How precisely a (singleton) row group's ground distances are known.
 /// Refinement escalates rows along `Sketch → Partial → … → Full` — each
@@ -249,6 +547,10 @@ struct Group<'c> {
     gamma: u32,
     agg: GroupAggregate,
     dists: RowDists<'c>,
+    /// Quotient-hierarchy level this group is a (subset of a) cluster of;
+    /// `levels.len()` means "finer than the finest level" — further
+    /// splits fall back to positional halves.
+    level: usize,
 }
 
 impl<'c> Group<'c> {
@@ -263,6 +565,11 @@ impl<'c> Group<'c> {
 /// construction exactly; only the per-pair ground distances are replaced
 /// by sketch envelopes that refinement tightens until
 /// `upper − lower ≤ ε · upper` (or the round budget runs out).
+///
+/// `sketch_rows` supplies prebuilt (delta-repaired) landmark rows; when
+/// absent the rows are fetched through the ground state's shared
+/// [`RowCache`] (2·L SSSPs on first use). Both sources are bit-identical
+/// rows, so the interval does not depend on which one priced it.
 #[allow(clippy::too_many_arguments)] // mirrors the exact term signature plus the approx knobs
 pub(crate) fn emd_star_term_interval<'c>(
     g: &CsrGraph,
@@ -275,7 +582,8 @@ pub(crate) fn emd_star_term_interval<'c>(
     config: &SndConfig,
     approx: &ApproxConfig,
     cache: &'c RowCache,
-) -> (f64, f64) {
+    sketch_rows: Option<&'c SketchRows>,
+) -> TermOutcome {
     let n = g.node_count();
     assert!(geom.per_bin, "the approximate tier requires per-bin banks");
     assert_eq!(p_state.len(), n, "state size mismatch");
@@ -305,7 +613,7 @@ pub(crate) fn emd_star_term_interval<'c>(
     let total_p = active_p.len() as u64 * scale;
     let total_q = active_q.len() as u64 * scale;
     if total_p == 0 && total_q == 0 {
-        return (0.0, 0.0);
+        return TermOutcome::exact(0.0);
     }
     let delta = total_p.abs_diff(total_q);
     let p_is_lighter = total_p < total_q;
@@ -334,12 +642,16 @@ pub(crate) fn emd_star_term_interval<'c>(
     };
     if row_nodes.is_empty() {
         debug_assert!(col_nodes.is_empty() && delta == 0);
-        return (0.0, 0.0);
+        return TermOutcome::exact(0.0);
     }
 
     // Tiny reduced problems: exact rows cost fewer SSSPs than the sketch
-    // would — answer exactly (zero-width interval).
-    let n_landmarks = ctx.landmarks.len().max(1);
+    // would — answer exactly (zero-width interval). The threshold follows
+    // the landmark set that would actually price this term (the bundle's
+    // live adapted set when present).
+    let n_landmarks = sketch_rows
+        .map_or(ctx.landmarks.len(), SketchRows::live_count)
+        .max(1);
     if row_nodes.len() <= 2 * n_landmarks {
         let v = sparse::emd_star_term(
             g,
@@ -351,33 +663,46 @@ pub(crate) fn emd_star_term_interval<'c>(
             config,
             Some(cache),
         );
-        return (v, v);
+        if trace_enabled() {
+            TRACE_STATS.tiny_exact.fetch_add(1, Ordering::Relaxed);
+        }
+        return TermOutcome::exact(v);
     }
 
-    // Landmark rows (2·L SSSPs, shared with the exact path through the
-    // ground state's row cache).
+    // Landmark rows: a delta-repaired bundle when the series path carries
+    // one, else 2·L SSSPs shared with the exact path through the ground
+    // state's row cache. Either source yields bit-identical rows.
     let inf = geom.unreachable;
-    let to_rows: Vec<&[u32]> = ctx
-        .landmarks
-        .iter()
-        .map(|&l| cache.get_or_compute(g, geom, op, true, l))
-        .collect();
-    let from_rows: Vec<&[u32]> = ctx
-        .landmarks
-        .iter()
-        .map(|&l| cache.get_or_compute(g, geom, op, false, l))
-        .collect();
-    let sketch = LandmarkSketch::new(to_rows, from_rows, inf);
+    let sketch = match sketch_rows {
+        Some(rows) => rows.sketch(inf),
+        None => time_phase(PHASE_LANDMARK_ROWS, || {
+            LandmarkSketch::new(
+                ctx.landmarks
+                    .iter()
+                    .map(|&l| cache.get_or_compute(g, geom, op, true, l))
+                    .collect(),
+                ctx.landmarks
+                    .iter()
+                    .map(|&l| cache.get_or_compute(g, geom, op, false, l))
+                    .collect(),
+                inf,
+            )
+        }),
+    };
 
     // Exact SSSP row of a singleton row group — the same row the exact
     // path would compute, fetched lazily through the shared cache.
     let singleton_fetches = std::cell::Cell::new(0usize);
     let partial_fetches = std::cell::Cell::new(0usize);
+    let reball_fetches = std::cell::Cell::new(0usize);
     let fetch_exact = |node: NodeId| {
         singleton_fetches.set(singleton_fetches.get() + 1);
-        cache.get_or_compute(g, geom, op, reverse, node)
+        time_phase(PHASE_EXACT_ROWS, || {
+            cache.get_or_compute(g, geom, op, reverse, node)
+        })
     };
-    let make_group = |members: Vec<NodeId>, masses: Vec<Mass>, gamma: u32| {
+    let finest = ctx.levels.len();
+    let make_group = |members: Vec<NodeId>, masses: Vec<Mass>, gamma: u32, level: usize| {
         debug_assert_eq!(members.len(), masses.len());
         Group {
             agg: sketch.aggregate(&members),
@@ -385,16 +710,20 @@ pub(crate) fn emd_star_term_interval<'c>(
             masses,
             gamma,
             dists: RowDists::Sketch,
+            level,
         }
     };
 
-    // Opinion-community coarsening: contract each side by the quotient
-    // partition (bank bins grouped separately — their γ offset differs).
+    // Opinion-community coarsening: contract each side by the coarsest
+    // quotient level (bank bins grouped separately — their γ offset
+    // differs). The solve dimensions start bounded by the level's cluster
+    // count no matter how large the graph is.
     let partition = |items: &[NodeId], masses: Option<&[Mass]>| -> Vec<(Vec<NodeId>, Vec<Mass>)> {
-        let nc = ctx.quotient.cluster_count();
+        let quotient = ctx.quotient();
+        let nc = quotient.cluster_count();
         let mut buckets: Vec<(Vec<NodeId>, Vec<Mass>)> = vec![(Vec::new(), Vec::new()); nc];
         for (i, &v) in items.iter().enumerate() {
-            let c = ctx.quotient.labels[v as usize] as usize;
+            let c = quotient.labels[v as usize] as usize;
             buckets[c].0.push(v);
             buckets[c].1.push(masses.map_or(scale, |m| m[i]));
         }
@@ -409,12 +738,12 @@ pub(crate) fn emd_star_term_interval<'c>(
         if nodes.len() <= SINGLETON_INIT_MAX {
             nodes
                 .iter()
-                .map(|&v| make_group(vec![v], vec![scale], 0))
+                .map(|&v| make_group(vec![v], vec![scale], 0, finest))
                 .collect()
         } else {
             partition(nodes, None)
                 .into_iter()
-                .map(|(m, ms)| make_group(m, ms, 0))
+                .map(|(m, ms)| make_group(m, ms, 0, 0))
                 .collect()
         }
     };
@@ -423,7 +752,7 @@ pub(crate) fn emd_star_term_interval<'c>(
     cols.extend(
         partition(&bank_bins, Some(&bank_caps))
             .into_iter()
-            .map(|(m, ms)| make_group(m, ms, config.per_bin_gamma)),
+            .map(|(m, ms)| make_group(m, ms, config.per_bin_gamma, 0)),
     );
 
     // Column-member table for bounded materialization: every node a row
@@ -447,23 +776,25 @@ pub(crate) fn emd_star_term_interval<'c>(
     let total_demand: u64 = cols.iter().map(Group::mass).sum();
     let partial_fetch = |node: NodeId, capacity: u64| -> RowDists<'c> {
         partial_fetches.set(partial_fetches.get() + 1);
-        with_sssp_scratch(|scratch| {
-            let radius = dial_bounded_scratch(
-                g,
-                &geom.edge_costs,
-                &[node],
-                geom.max_edge_cost,
-                reverse,
-                &target_weight,
-                capacity,
-                scratch,
-            );
-            let vals = target_ids.iter().map(|&t| scratch.dist(t)).collect();
-            RowDists::Partial {
-                vals,
-                radius,
-                capacity,
-            }
+        time_phase(PHASE_BALLS, || {
+            with_sssp_scratch(|scratch| {
+                let radius = dial_bounded_scratch(
+                    g,
+                    &geom.edge_costs,
+                    &[node],
+                    geom.max_edge_cost,
+                    reverse,
+                    &target_weight,
+                    capacity,
+                    scratch,
+                );
+                let vals = target_ids.iter().map(|&t| scratch.dist(t)).collect();
+                RowDists::Partial {
+                    vals,
+                    radius,
+                    capacity,
+                }
+            })
         })
     };
 
@@ -559,7 +890,9 @@ pub(crate) fn emd_star_term_interval<'c>(
         );
         let lo_cost = DenseCost::from_vec(nr, nc, lo_data);
         let hi_cost = DenseCost::from_vec(nr, nc, hi_data);
-        let plan_hi = solve_balanced(&supplies, &demands, &hi_cost, config.solver);
+        let plan_hi = time_phase(PHASE_SOLVES, || {
+            solve_balanced(&supplies, &demands, &hi_cost, config.solver)
+        });
 
         let round_no = rounds;
         let trace = |why: &str, interval: (f64, f64)| {
@@ -575,6 +908,25 @@ pub(crate) fn emd_star_term_interval<'c>(
             }
         };
 
+        // Certified return: per-term trace line, run-level aggregates,
+        // and the adaptive-placement feedback off the final hi plan.
+        let finish = |why: &str, lower: f64, upper: f64| -> TermOutcome {
+            trace(why, (lower, upper));
+            record_term(
+                round_no,
+                partial_fetches.get(),
+                reball_fetches.get(),
+                singleton_fetches.get(),
+                lower,
+                upper,
+            );
+            TermOutcome {
+                lower,
+                upper,
+                feedback: collect_feedback(&plan_hi, &bounds, &rows, &cols, &sketch, reverse),
+            }
+        };
+
         // Cheap gap probe: price the hi-optimal plan at the lower bounds.
         // That sum over-estimates the lo optimum, so `hi − probe`
         // *under*-estimates the certified gap — when even the probe misses
@@ -587,8 +939,11 @@ pub(crate) fn emd_star_term_interval<'c>(
             .sum();
         let threshold = approx.epsilon * plan_hi.total_cost as f64;
         let certify = (plan_hi.total_cost - probe) as f64 <= threshold || rounds >= approx.budget;
-        let mut plan_lo =
-            certify.then(|| solve_balanced(&supplies, &demands, &lo_cost, config.solver));
+        let mut plan_lo = certify.then(|| {
+            time_phase(PHASE_SOLVES, || {
+                solve_balanced(&supplies, &demands, &lo_cost, config.solver)
+            })
+        });
         if let Some(lo_plan) = &plan_lo {
             debug_assert!(lo_plan.total_cost <= plan_hi.total_cost);
             let result = (
@@ -597,12 +952,10 @@ pub(crate) fn emd_star_term_interval<'c>(
             );
             let gap = (plan_hi.total_cost - lo_plan.total_cost) as f64;
             if gap <= threshold || gap == 0.0 {
-                trace("converged", result);
-                return result;
+                return finish("converged", result.0, result.1);
             }
             if rounds >= approx.budget {
-                trace("budget", result);
-                return result;
+                return finish("budget", result.0, result.1);
             }
         }
         rounds += 1;
@@ -629,35 +982,73 @@ pub(crate) fn emd_star_term_interval<'c>(
         }
         scored.sort_unstable_by_key(|b| std::cmp::Reverse(b.0));
         let best = scored.first().copied();
-        let halves = |g: Group<'c>| -> (Group<'c>, Group<'c>) {
-            let mid = g.members.len() / 2;
-            let (m1, m2) = (g.members[..mid].to_vec(), g.members[mid..].to_vec());
-            let (s1, s2) = (g.masses[..mid].to_vec(), g.masses[mid..].to_vec());
-            (make_group(m1, s1, g.gamma), make_group(m2, s2, g.gamma))
+        // Splitting descends the quotient hierarchy: a group at level `d`
+        // is partitioned by the first finer level that actually separates
+        // its members (fanout ≤ QUOTIENT_FANOUT by construction), so the
+        // children follow community boundaries instead of member-array
+        // positions. Past the finest level, positional halves.
+        let split_group = |gr: Group<'c>| -> Vec<Group<'c>> {
+            let mut lv = gr.level + 1;
+            while lv < finest {
+                let labels = &ctx.levels[lv].labels;
+                let first = labels[gr.members[0] as usize];
+                if gr.members.iter().any(|&v| labels[v as usize] != first) {
+                    let mut buckets: BTreeMap<u32, (Vec<NodeId>, Vec<Mass>)> = BTreeMap::new();
+                    for (k, &v) in gr.members.iter().enumerate() {
+                        let e = buckets.entry(labels[v as usize]).or_default();
+                        e.0.push(v);
+                        e.1.push(gr.masses[k]);
+                    }
+                    return buckets
+                        .into_values()
+                        .map(|(m, ms)| make_group(m, ms, gr.gamma, lv))
+                        .collect();
+                }
+                lv += 1;
+            }
+            let mid = gr.members.len() / 2;
+            let (m1, m2) = (gr.members[..mid].to_vec(), gr.members[mid..].to_vec());
+            let (s1, s2) = (gr.masses[..mid].to_vec(), gr.masses[mid..].to_vec());
+            vec![
+                make_group(m1, s1, gr.gamma, finest),
+                make_group(m2, s2, gr.gamma, finest),
+            ]
+        };
+        // Per-level cost propagation: a child's member pairs are a subset
+        // of the parent's, so the parent's certified cell interval still
+        // brackets the child's min/max — intersecting it with the child's
+        // own sketch bounds keeps every cell certified while inheriting
+        // whatever tightness the coarser levels already established.
+        let clip = |(lo, hi): (u32, u32), (plo, phi): (u32, u32)| -> (u32, u32) {
+            (lo.max(plo), hi.min(phi))
         };
         let split_row = |rows: &mut Vec<Group<'c>>,
                          bounds: &mut Vec<Vec<(u32, u32)>>,
                          cols: &[Group<'c>],
                          i: usize| {
-            let (g1, g2) = halves(rows.swap_remove(i));
-            bounds.swap_remove(i);
-            bounds.push(cols.iter().map(|b| cell_bounds(&g1, b)).collect());
-            bounds.push(cols.iter().map(|b| cell_bounds(&g2, b)).collect());
-            rows.push(g1);
-            rows.push(g2);
+            let parent = bounds.swap_remove(i);
+            for child in split_group(rows.swap_remove(i)) {
+                bounds.push(
+                    cols.iter()
+                        .zip(&parent)
+                        .map(|(b, &pb)| clip(cell_bounds(&child, b), pb))
+                        .collect(),
+                );
+                rows.push(child);
+            }
         };
         let split_col = |cols: &mut Vec<Group<'c>>,
                          bounds: &mut Vec<Vec<(u32, u32)>>,
                          rows: &[Group<'c>],
                          j: usize| {
-            let (g1, g2) = halves(cols.swap_remove(j));
+            let children = split_group(cols.swap_remove(j));
             for (a, row) in rows.iter().zip(bounds.iter_mut()) {
-                row.swap_remove(j);
-                row.push(cell_bounds(a, &g1));
-                row.push(cell_bounds(a, &g2));
+                let pb = row.swap_remove(j);
+                for child in &children {
+                    row.push(clip(cell_bounds(a, child), pb));
+                }
             }
-            cols.push(g1);
-            cols.push(g2);
+            cols.extend(children);
         };
         match best {
             Some((best_score, _, _)) => {
@@ -696,7 +1087,10 @@ pub(crate) fn emd_star_term_interval<'c>(
                     let node = rows[i].members[0];
                     let next = match &rows[i].dists {
                         RowDists::Sketch => rows[i].mass().saturating_mul(BALL_CAPACITY_FACTOR),
-                        RowDists::Partial { capacity, .. } => capacity.saturating_mul(4),
+                        RowDists::Partial { capacity, .. } => {
+                            reball_fetches.set(reball_fetches.get() + 1);
+                            capacity.saturating_mul(4)
+                        }
                         RowDists::Full(_) => continue,
                     };
                     // A ball that must settle (nearly) all demand anyway is
@@ -707,8 +1101,11 @@ pub(crate) fn emd_star_term_interval<'c>(
                     } else {
                         partial_fetch(node, next)
                     };
+                    // The previous bounds stay certified (ball radii only
+                    // grow, exact rows are final), so intersect instead of
+                    // replacing — materialization never widens a cell.
                     for (j, b) in cols.iter().enumerate() {
-                        bounds[i][j] = cell_bounds(&rows[i], b);
+                        bounds[i][j] = clip(cell_bounds(&rows[i], b), bounds[i][j]);
                     }
                 }
                 // Descending order keeps pending indices valid across the
@@ -741,16 +1138,71 @@ pub(crate) fn emd_star_term_interval<'c>(
                         let lo_plan = plan_lo.take().unwrap_or_else(|| {
                             solve_balanced(&supplies, &demands, &lo_cost, config.solver)
                         });
-                        let result = (
+                        return finish(
+                            "exhausted",
                             lo_plan.total_cost as f64 / scale as f64,
                             plan_hi.total_cost as f64 / scale as f64,
                         );
-                        trace("exhausted", result);
-                        return result;
                     }
                 }
             }
         }
+    }
+}
+
+/// Ranks the final hi plan's flowing cells by `gap × flow` and extracts
+/// the adaptive-placement feedback: the worst cells' row representatives
+/// (residual groups only — bank bins are not mass sources the sketch
+/// should chase) and the landmarks binding those cells' envelopes.
+fn collect_feedback(
+    plan: &TransportPlan,
+    bounds: &[Vec<(u32, u32)>],
+    rows: &[Group<'_>],
+    cols: &[Group<'_>],
+    sketch: &LandmarkSketch<'_>,
+    reverse: bool,
+) -> TermFeedback {
+    let mut cells: Vec<(u128, usize, usize)> = plan
+        .flows
+        .iter()
+        .filter_map(|f| {
+            let (i, j) = (f.row as usize, f.col as usize);
+            let (lo, hi) = bounds[i][j];
+            (hi > lo && f.flow > 0).then(|| (((hi - lo) as u128) * f.flow as u128, i, j))
+        })
+        .collect();
+    cells.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
+    // Credit stops once the walked cells carry half the residual gap
+    // mass: landmarks binding only the long tail of near-converged cells
+    // are not worth keeping on the repair payroll.
+    let total_gap: u128 = cells.iter().map(|c| c.0).sum();
+    let mut credited: u128 = 0;
+    let mut hot_nodes = Vec::new();
+    let mut landmark_useful = vec![false; sketch.landmark_count()];
+    for &(score, i, j) in cells.iter().take(FEEDBACK_CELLS) {
+        if credited * 2 >= total_gap {
+            break;
+        }
+        credited += score;
+        let rep = rows[i].members[0];
+        if rows[i].gamma == 0 && !hot_nodes.contains(&rep) {
+            hot_nodes.push(rep);
+        }
+        let (a, b) = if reverse {
+            (&cols[j].agg, &rows[i].agg)
+        } else {
+            (&rows[i].agg, &cols[j].agg)
+        };
+        if let Some(l) = sketch.group_upper_arg(a, b) {
+            landmark_useful[l] = true;
+        }
+        if let Some(l) = sketch.group_lower_arg(a, b) {
+            landmark_useful[l] = true;
+        }
+    }
+    TermFeedback {
+        hot_nodes,
+        landmark_useful,
     }
 }
 

@@ -163,6 +163,29 @@ impl<'g> SndEngine<'g> {
         gb: &StateGeometry,
         which: usize,
     ) -> f64 {
+        let (lo, hi) = self.pair_term_interval(a, b, ga, gb, which);
+        // Zero-width (exact-tier) envelopes return the value itself so the
+        // scalar stays bit-identical to the sparse path; the midpoint of a
+        // genuine interval is the approximate tier's scalar estimate.
+        if lo == hi {
+            return lo;
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// [`pair_term`](Self::pair_term) keeping the certified envelope: the
+    /// exact tier returns a zero-width interval, an active approximate
+    /// tier the term's `[lower, upper]` (whose midpoint is exactly what
+    /// [`pair_term`](Self::pair_term) reports). The tile checkpoint path
+    /// persists these so merged shard matrices stay re-certifiable.
+    pub(crate) fn pair_term_interval(
+        &self,
+        a: &NetworkState,
+        b: &NetworkState,
+        ga: &StateGeometry,
+        gb: &StateGeometry,
+        which: usize,
+    ) -> (f64, f64) {
         use snd_models::Opinion;
         let (ground, p, q, geom, op) = match which {
             0 => (ga, a, b, &ga.pos, Opinion::Positive),
@@ -171,12 +194,16 @@ impl<'g> SndEngine<'g> {
             _ => (gb, b, a, &gb.neg, Opinion::Negative),
         };
         // Same tier routing as `SndEngine::terms`: an active approximate
-        // tier prices the term as its certified-interval midpoint.
+        // tier prices the term as a certified interval, drawing landmark
+        // rows from the bundle's delta-repaired sketch when it carries one.
         if let Some(a_cfg) = self.approx_if_active() {
-            let (lo, hi) = self.approx_term(geom, Some(&ground.cache), p, q, op, &a_cfg);
-            return 0.5 * (lo + hi);
+            let sketch = match op {
+                Opinion::Positive => ground.sketch_pos.as_ref(),
+                _ => ground.sketch_neg.as_ref(),
+            };
+            return self.approx_term(geom, Some(&ground.cache), sketch, p, q, op, &a_cfg);
         }
-        sparse::emd_star_term(
+        let v = sparse::emd_star_term(
             self.graph(),
             self.clustering(),
             geom,
@@ -185,7 +212,8 @@ impl<'g> SndEngine<'g> {
             op,
             self.config(),
             Some(&ground.cache),
-        )
+        );
+        (v, v)
     }
 }
 

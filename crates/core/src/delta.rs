@@ -108,6 +108,300 @@ pub(crate) struct OpGeometry {
     /// pair per cluster; empty unless the policy is `Eccentricity`.
     ecc_fwd: Vec<Arc<Vec<u32>>>,
     ecc_rev: Vec<Arc<Vec<u32>>>,
+    /// Approximate-tier landmark rows (per-bin mode with an approx config
+    /// and a lossless clamp domain only), repaired across steps like the
+    /// cluster rows above.
+    pub(crate) sketch: Option<SketchRows>,
+}
+
+/// Repair-compatible landmark sketch rows of one `(state, opinion)`
+/// geometry plane: per landmark `l`, the clamped reverse row
+/// `to[l][v] = d̂(v → l)` and forward row `from[l][v] = d̂(l → v)` — exactly
+/// what a [`LandmarkSketch`](snd_graph::LandmarkSketch) borrows. Rows are
+/// `Arc`-shared so a transition that provably cannot perturb one (same
+/// [`ChangeIndex::fires`] contract as the cluster rows) carries it into
+/// the next bundle in `O(1)`; the rest are repaired with [`repair_row`],
+/// which is bit-identical to a fresh SSSP because the clamp domain is
+/// lossless whenever a sketch exists (`tests/sketch_repair.rs`).
+///
+/// Adaptive landmark placement ([`DeltaStateGeometry::adapt_sketch`])
+/// appends and evicts whole row pairs between snapshots; the usefulness
+/// clock (`last_useful` / `tick`) travels with the bundle, including
+/// through the high-churn fresh-rebuild fallback.
+///
+/// Repair is **feedback-driven**: a triangle-inequality envelope over a
+/// *subset* of the landmarks is still sound (an upper bound minimized
+/// over fewer landmarks only loosens, a lower bound maximized over fewer
+/// only loosens), so a transition does not have to repair all `2·L`
+/// rows. Pairs whose landmark recently bound a hot cell — plus a small
+/// floor — are repaired; the rest are parked `stale`, dropped from the
+/// envelope, and cost nothing until adaptive placement evicts them (a
+/// stale pair's `last_useful` ages, so eviction finds it first). Until
+/// the first pricing signal arrives (`tick == 0`) every pair is
+/// advanced, which keeps un-priced stepping bit-identical to a fresh
+/// build across every row.
+#[derive(Clone)]
+pub struct SketchRows {
+    pub(crate) landmarks: Vec<NodeId>,
+    pub(crate) to: Vec<Arc<Vec<u32>>>,
+    pub(crate) from: Vec<Arc<Vec<u32>>>,
+    /// Last tick each landmark was the binding envelope of a hot cell.
+    pub(crate) last_useful: Vec<u64>,
+    /// Adaptation clock, bumped once per priced snapshot.
+    pub(crate) tick: u64,
+    /// Pairs whose rows a repair policy skipped across some fired
+    /// transition: no longer valid for the current costs, excluded from
+    /// [`sketch`](Self::sketch) until replaced (only a full rebuild or
+    /// eviction revives the slot — repair needs a valid starting row).
+    pub(crate) stale: Vec<bool>,
+}
+
+/// Per-transition repair budget of [`SketchRows::advanced`]: the number
+/// of row pairs kept live once pricing feedback exists, chosen
+/// most-recently-useful first. Enough for a serviceable envelope, small
+/// enough that a series whose refinement never leans on the sketch stops
+/// paying for its upkeep; pairs the feedback keeps crediting always rank
+/// inside the budget.
+const REPAIR_PAIR_BUDGET: usize = 3;
+
+/// One adaptive promotion costs two full SSSPs plus membership in the
+/// repair budget, so placement moves at most one landmark per plane
+/// every this many snapshots — a genuinely hot region stays hot long
+/// enough to be covered one landmark at a time.
+const PROMOTE_PERIOD: u64 = 4;
+
+impl SketchRows {
+    /// Number of landmarks (row pairs), live or stale.
+    pub fn landmark_count(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Number of live (repair-current) row pairs — the envelope width
+    /// pricing actually sees.
+    pub fn live_count(&self) -> usize {
+        self.stale.iter().filter(|&&s| !s).count()
+    }
+
+    /// The landmark set, in row order.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Bundle indices of the live pairs, in row order — position `j` in
+    /// the borrowed [`sketch`](Self::sketch) (and in any feedback derived
+    /// from it) maps to bundle pair `live_indices()[j]`.
+    fn live_indices(&self) -> Vec<usize> {
+        (0..self.landmarks.len())
+            .filter(|&i| !self.stale[i])
+            .collect()
+    }
+
+    /// Records pricing feedback: `useful[j]` refers to the `j`-th *live*
+    /// pair (the subset the envelope served), credited at the current
+    /// tick.
+    pub(crate) fn note_useful(&mut self, useful: &[bool]) {
+        let live = self.live_indices();
+        for (&i, &u) in live.iter().zip(useful) {
+            if u {
+                self.last_useful[i] = self.tick;
+            }
+        }
+    }
+
+    /// One stored row: the reverse row `d̂(v → landmark)` when `reverse`,
+    /// else the forward row `d̂(landmark → v)`.
+    pub fn row(&self, idx: usize, reverse: bool) -> &[u32] {
+        if reverse {
+            &self.to[idx]
+        } else {
+            &self.from[idx]
+        }
+    }
+
+    /// Borrows the **live** rows as a
+    /// [`LandmarkSketch`](snd_graph::LandmarkSketch) with sentinel `inf`.
+    /// Stale pairs are excluded — the envelope over the remaining
+    /// landmarks is looser but still sound.
+    pub(crate) fn sketch(&self, inf: u32) -> snd_graph::LandmarkSketch<'_> {
+        let live = self.live_indices();
+        snd_graph::LandmarkSketch::new(
+            live.iter().map(|&i| self.to[i].as_slice()).collect(),
+            live.iter().map(|&i| self.from[i].as_slice()).collect(),
+            inf,
+        )
+    }
+
+    /// Builds every row pair from scratch (2·L SSSPs, parallel over
+    /// landmarks). `last_useful`/`tick` are carried, not reset, so the
+    /// high-churn fallback keeps the adaptation history.
+    fn build(
+        g: &CsrGraph,
+        costs: &[u32],
+        max_edge_cost: u32,
+        unreachable: u32,
+        landmarks: Vec<NodeId>,
+        last_useful: Vec<u64>,
+        tick: u64,
+    ) -> SketchRows {
+        let n = g.node_count();
+        // One (to-landmark, from-landmark) row pair per landmark.
+        type RowPair = (Arc<Vec<u32>>, Arc<Vec<u32>>);
+        let rows: Vec<RowPair> =
+            crate::approx::time_phase(crate::approx::PHASE_SKETCH_MAINT, || {
+                landmarks
+                    .par_iter()
+                    .map(|&l| {
+                        with_sssp_scratch(|scratch| {
+                            dial_reverse_scratch(g, costs, &[l], max_edge_cost, scratch);
+                            let to = clamped_row(scratch, n, unreachable);
+                            dial_scratch(g, costs, &[l], max_edge_cost, scratch);
+                            let from = clamped_row(scratch, n, unreachable);
+                            (Arc::new(to), Arc::new(from))
+                        })
+                    })
+                    .collect()
+            });
+        crate::approx::record_sketch_rebuild(rows.len() * 2);
+        let (to, from) = rows.into_iter().unzip();
+        let stale = vec![false; landmarks.len()];
+        SketchRows {
+            landmarks,
+            to,
+            from,
+            last_useful,
+            tick,
+            stale,
+        }
+    }
+
+    /// Fresh rebuild over new costs at the *same* (possibly adapted)
+    /// landmark set — the high-churn fallback.
+    fn rebuilt(
+        &self,
+        g: &CsrGraph,
+        costs: &[u32],
+        max_edge_cost: u32,
+        unreachable: u32,
+    ) -> SketchRows {
+        SketchRows::build(
+            g,
+            costs,
+            max_edge_cost,
+            unreachable,
+            self.landmarks.clone(),
+            self.last_useful.clone(),
+            self.tick,
+        )
+    }
+
+    /// The pairs the feedback-driven policy repairs across the next
+    /// transition: the [`REPAIR_PAIR_BUDGET`] most recently useful live
+    /// pairs (ties broken by slot, so the budget does not wander across
+    /// equally-idle pairs). Before any pricing signal exists
+    /// (`tick == 0`) every pair is wanted, so un-priced stepping stays
+    /// exhaustive.
+    fn repair_wanted(&self) -> Vec<bool> {
+        let n = self.landmarks.len();
+        if self.tick == 0 {
+            return vec![true; n];
+        }
+        let mut want: Vec<bool> = vec![false; n];
+        let mut live: Vec<usize> = (0..n).filter(|&i| !self.stale[i]).collect();
+        live.sort_unstable_by_key(|&i| (std::cmp::Reverse(self.last_useful[i]), i));
+        for &i in live.iter().take(REPAIR_PAIR_BUDGET) {
+            want[i] = true;
+        }
+        want
+    }
+
+    /// Advances the row pairs across a transition. Rows a change provably
+    /// cannot perturb are `Arc`-shared; rows of pairs the feedback policy
+    /// ([`repair_wanted`](Self::repair_wanted)) retains are repaired in
+    /// place — bit-identical to [`build`](Self::build) over the new
+    /// costs; fired pairs the policy lets go are carried unrepaired and
+    /// marked stale (a stale pair stays stale: repair needs a valid
+    /// starting row, so only eviction or a full rebuild revives the
+    /// slot).
+    fn advanced(
+        &self,
+        g: &CsrGraph,
+        new_costs: &[u32],
+        changes: &[CostChange],
+        unreachable: u32,
+    ) -> SketchRows {
+        let index = ChangeIndex::new(g, changes, new_costs);
+        let want = self.repair_wanted();
+        let repair = |prev: &Arc<Vec<u32>>, l: NodeId, reverse: bool| -> Arc<Vec<u32>> {
+            REPAIR_SCRATCH.with(|cell| {
+                let scratch = &mut cell.borrow_mut();
+                let mut row = (**prev).clone();
+                repair_row(
+                    g,
+                    new_costs,
+                    changes,
+                    &[l],
+                    reverse,
+                    unreachable,
+                    &mut row,
+                    scratch,
+                );
+                Arc::new(row)
+            })
+        };
+        // Per pair: (to, from, repaired, reused, went_stale).
+        type Advanced = (Arc<Vec<u32>>, Arc<Vec<u32>>, usize, usize, bool);
+        let pairs: Vec<Advanced> =
+            crate::approx::time_phase(crate::approx::PHASE_SKETCH_MAINT, || {
+                (0..self.landmarks.len())
+                    .into_par_iter()
+                    .map(|i| {
+                        let (t, f) = (&self.to[i], &self.from[i]);
+                        if self.stale[i] {
+                            return (Arc::clone(t), Arc::clone(f), 0, 0, true);
+                        }
+                        let l = self.landmarks[i];
+                        let fires_to = index.fires(t, unreachable, true);
+                        let fires_from = index.fires(f, unreachable, false);
+                        let fired = usize::from(fires_to) + usize::from(fires_from);
+                        if fired > 0 && !want[i] {
+                            return (Arc::clone(t), Arc::clone(f), 0, 0, true);
+                        }
+                        let t = if fires_to {
+                            repair(t, l, true)
+                        } else {
+                            Arc::clone(t)
+                        };
+                        let f = if fires_from {
+                            repair(f, l, false)
+                        } else {
+                            Arc::clone(f)
+                        };
+                        (t, f, fired, 2 - fired, false)
+                    })
+                    .collect()
+            });
+        let mut to = Vec::with_capacity(pairs.len());
+        let mut from = Vec::with_capacity(pairs.len());
+        let mut stale = Vec::with_capacity(pairs.len());
+        let (mut repaired, mut reused, mut parked) = (0usize, 0usize, 0usize);
+        for (t, f, rep, reu, s) in pairs {
+            repaired += rep;
+            reused += reu;
+            parked += usize::from(s) * 2;
+            stale.push(s);
+            to.push(t);
+            from.push(f);
+        }
+        crate::approx::record_sketch_step(repaired, reused, parked);
+        SketchRows {
+            landmarks: self.landmarks.clone(),
+            to,
+            from,
+            last_useful: self.last_useful.clone(),
+            tick: self.tick,
+            stale,
+        }
+    }
 }
 
 /// Per-transition index of the changed edges in relaxation terms:
@@ -242,6 +536,27 @@ impl OpGeometry {
                 config.per_bin_gamma > 0,
                 "per-bin gamma must be positive (identity of indiscernibles)"
             );
+            // Approximate-tier engines get a live sketch bundle alongside
+            // the costs — only in a lossless clamp domain, the repair
+            // precondition (otherwise the approx path falls back to cache
+            // fetches, still certified).
+            let sketch = if Self::lossless(unreachable, max_edge_cost, n) {
+                engine.delta_sketch_ctx().map(|ctx| {
+                    let landmarks = ctx.landmarks.clone();
+                    let count = landmarks.len();
+                    SketchRows::build(
+                        g,
+                        &costs,
+                        max_edge_cost,
+                        unreachable,
+                        landmarks,
+                        vec![0; count],
+                        0,
+                    )
+                })
+            } else {
+                None
+            };
             return OpGeometry {
                 geom: GroundGeometry {
                     edge_costs: costs,
@@ -255,6 +570,7 @@ impl OpGeometry {
                 row_gens: Vec::new(),
                 ecc_fwd: Vec::new(),
                 ecc_rev: Vec::new(),
+                sketch,
             };
         }
 
@@ -360,6 +676,7 @@ impl OpGeometry {
             row_gens,
             ecc_fwd,
             ecc_rev,
+            sketch: None,
         }
     }
 
@@ -521,6 +838,7 @@ impl OpGeometry {
             row_gens,
             ecc_fwd,
             ecc_rev,
+            sketch: None,
         }
     }
 }
@@ -571,7 +889,31 @@ impl DeltaStateGeometry {
             );
             if prev.geom.per_bin {
                 // No cluster geometry to repair: the costs are the
-                // geometry.
+                // geometry. A live sketch bundle advances under the same
+                // contract as cluster rows — Arc-share provable no-ops,
+                // repair the rest, fresh rebuild past the churn threshold.
+                let sketch = prev.sketch.as_ref().map(|s| {
+                    if high_churn {
+                        return s.rebuilt(
+                            g,
+                            &new_costs,
+                            prev.geom.max_edge_cost,
+                            prev.geom.unreachable,
+                        );
+                    }
+                    let changes: Vec<CostChange> = delta
+                        .touched_edges()
+                        .iter()
+                        .filter(|&&e| new_costs[e as usize] != prev.geom.edge_costs[e as usize])
+                        .map(|&e| (e, prev.geom.edge_costs[e as usize]))
+                        .collect();
+                    if changes.is_empty() {
+                        crate::approx::record_sketch_step(0, s.live_count() * 2, 0);
+                        s.clone()
+                    } else {
+                        s.advanced(g, &new_costs, &changes, prev.geom.unreachable)
+                    }
+                });
                 return OpGeometry {
                     geom: GroundGeometry {
                         edge_costs: new_costs,
@@ -581,6 +923,7 @@ impl DeltaStateGeometry {
                     row_gens: Vec::new(),
                     ecc_fwd: Vec::new(),
                     ecc_rev: Vec::new(),
+                    sketch,
                 };
             }
             if high_churn || prev.cluster_rows.is_empty() {
@@ -603,6 +946,7 @@ impl DeltaStateGeometry {
                     row_gens: prev.row_gens.clone(),
                     ecc_fwd: prev.ecc_fwd.clone(),
                     ecc_rev: prev.ecc_rev.clone(),
+                    sketch: None,
                 };
             }
             prev.advanced(engine, new_costs, &changes)
@@ -618,13 +962,114 @@ impl DeltaStateGeometry {
     /// Materializes the batch-path bundle for this state: both geometries
     /// (cloned) plus an empty shared row cache. Feeding these to
     /// [`SndEngine::breakdown_with`] prices transitions exactly as the
-    /// batch path does.
+    /// batch path does. Live sketch bundles ride along (Arc-shared rows,
+    /// so the clone is `O(L)`), keeping the approximate tile path on
+    /// delta-repaired rows.
     pub fn bundle(&self, engine: &SndEngine<'_>) -> StateGeometry {
         StateGeometry::new(
             self.pos.geom.clone(),
             self.neg.geom.clone(),
             RowCache::new(engine.graph().node_count()),
         )
+        .with_sketches(self.pos.sketch.clone(), self.neg.sketch.clone())
+    }
+
+    /// The live landmark-sketch bundle of one opinion plane, when this
+    /// engine maintains one (per-bin banks + approx config + lossless
+    /// clamp domain).
+    pub fn sketch(&self, op: Opinion) -> Option<&SketchRows> {
+        match op {
+            Opinion::Positive => self.pos.sketch.as_ref(),
+            _ => self.neg.sketch.as_ref(),
+        }
+    }
+
+    /// Adaptive landmark placement: folds one term's refinement feedback
+    /// (hot `gap × flow` cell representatives + per-landmark usefulness
+    /// credit) into the `op` plane's sketch. Up to two hot nodes are
+    /// promoted to landmarks per call (two SSSPs each over this plane's
+    /// costs); past `max_landmarks` the least-recently-useful landmark is
+    /// evicted — unless every landmark was useful this very snapshot, in
+    /// which case the set is left alone rather than churned.
+    pub(crate) fn adapt_sketch(
+        &mut self,
+        engine: &SndEngine<'_>,
+        op: Opinion,
+        feedback: &crate::approx::TermFeedback,
+        max_landmarks: usize,
+    ) {
+        let plane = match op {
+            Opinion::Positive => &mut self.pos,
+            _ => &mut self.neg,
+        };
+        let Some(sketch) = plane.sketch.as_mut() else {
+            return;
+        };
+        sketch.tick += 1;
+        let tick = sketch.tick;
+        // Feedback indices refer to the live pairs the term was priced
+        // with; `note_useful` maps them back onto bundle slots.
+        sketch.note_useful(&feedback.landmark_useful);
+        // Promotion is gated on the envelope earning its keep (some
+        // landmark bound a hot cell) and paced by [`PROMOTE_PERIOD`]:
+        // when the pricing does not lean on the sketch, two SSSPs per
+        // promotion buy rows nothing will read, and even a hot streak
+        // only justifies moving placement one landmark at a time.
+        let any_useful = feedback.landmark_useful.iter().any(|&u| u);
+        let full = sketch.landmarks.len() >= max_landmarks.max(1);
+        if full && (!any_useful || tick % PROMOTE_PERIOD != 0) {
+            return;
+        }
+        let g = engine.graph();
+        let n = g.node_count();
+        let costs = &plane.geom.edge_costs;
+        let max_edge_cost = plane.geom.max_edge_cost;
+        let unreachable = plane.geom.unreachable;
+        // Paced to one promotion per snapshot: each costs two SSSPs, and
+        // a genuinely hot region stays hot long enough to be covered one
+        // landmark at a time.
+        let mut promoted = 0usize;
+        for &v in &feedback.hot_nodes {
+            if promoted >= 1 {
+                break;
+            }
+            if sketch.landmarks.contains(&v) {
+                continue;
+            }
+            if sketch.landmarks.len() >= max_landmarks.max(1) {
+                let Some((evict, &least)) = sketch
+                    .last_useful
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &lu)| (lu, i))
+                else {
+                    break;
+                };
+                if least >= tick {
+                    break;
+                }
+                sketch.landmarks.swap_remove(evict);
+                sketch.to.swap_remove(evict);
+                sketch.from.swap_remove(evict);
+                sketch.last_useful.swap_remove(evict);
+                sketch.stale.swap_remove(evict);
+            }
+            let (to, from) = crate::approx::time_phase(crate::approx::PHASE_SKETCH_MAINT, || {
+                with_sssp_scratch(|scratch| {
+                    dial_reverse_scratch(g, costs, &[v], max_edge_cost, scratch);
+                    let to = clamped_row(scratch, n, unreachable);
+                    dial_scratch(g, costs, &[v], max_edge_cost, scratch);
+                    let from = clamped_row(scratch, n, unreachable);
+                    (to, from)
+                })
+            });
+            sketch.landmarks.push(v);
+            sketch.to.push(Arc::new(to));
+            sketch.from.push(Arc::new(from));
+            sketch.last_useful.push(tick);
+            sketch.stale.push(false);
+            promoted += 1;
+        }
     }
 }
 
@@ -682,7 +1127,7 @@ impl<'e, 'g> SeriesEvaluator<'e, 'g> {
             }
             let cur = prev.step(engine, &states[t], &delta);
             let cur_rows = RowCache::new(n);
-            let breakdown = engine.terms(
+            let breakdown = engine.terms_sketched(
                 &states[t - 1],
                 &states[t],
                 [&prev.pos.geom, &prev.neg.geom, &cur.pos.geom, &cur.neg.geom],
@@ -691,6 +1136,12 @@ impl<'e, 'g> SeriesEvaluator<'e, 'g> {
                     Some(&prev_rows),
                     Some(&cur_rows),
                     Some(&cur_rows),
+                ],
+                [
+                    prev.pos.sketch.as_ref(),
+                    prev.neg.sketch.as_ref(),
+                    cur.pos.sketch.as_ref(),
+                    cur.neg.sketch.as_ref(),
                 ],
             );
             out.push(breakdown.total());

@@ -65,6 +65,10 @@ pub struct StateGeometry {
     pub(crate) neg: GroundGeometry,
     /// Shared row cache (one slot per `(opinion, direction, node)`).
     pub(crate) cache: RowCache,
+    /// Delta-repaired landmark rows per opinion plane (series/tile paths
+    /// only — `None` bundles fall back to cache-fetched landmark rows).
+    pub(crate) sketch_pos: Option<crate::delta::SketchRows>,
+    pub(crate) sketch_neg: Option<crate::delta::SketchRows>,
 }
 
 /// Live [`StateGeometry`] bundles right now — each holds O(n) geometry
@@ -79,7 +83,25 @@ impl StateGeometry {
         use std::sync::atomic::Ordering;
         let live = LIVE_BUNDLES.fetch_add(1, Ordering::Relaxed) + 1;
         PEAK_BUNDLES.fetch_max(live, Ordering::Relaxed);
-        StateGeometry { pos, neg, cache }
+        StateGeometry {
+            pos,
+            neg,
+            cache,
+            sketch_pos: None,
+            sketch_neg: None,
+        }
+    }
+
+    /// Attaches delta-repaired landmark-row bundles (used by
+    /// [`DeltaStateGeometry::bundle`](crate::delta::DeltaStateGeometry)).
+    pub(crate) fn with_sketches(
+        mut self,
+        pos: Option<crate::delta::SketchRows>,
+        neg: Option<crate::delta::SketchRows>,
+    ) -> StateGeometry {
+        self.sketch_pos = pos;
+        self.sketch_neg = neg;
+        self
     }
 
     /// Number of SSSP rows computed into this bundle's cache so far.
@@ -314,6 +336,20 @@ impl<'g> SndEngine<'g> {
         geoms: [&GroundGeometry; 4],
         caches: [Option<&RowCache>; 4],
     ) -> SndBreakdown {
+        self.terms_sketched(a, b, geoms, caches, [None, None, None, None])
+    }
+
+    /// [`terms`](Self::terms) with optional delta-repaired landmark rows
+    /// per term — the series paths pass their live sketch bundles so the
+    /// approximate tier prices without re-running the 2·L sketch SSSPs.
+    pub(crate) fn terms_sketched(
+        &self,
+        a: &NetworkState,
+        b: &NetworkState,
+        geoms: [&GroundGeometry; 4],
+        caches: [Option<&RowCache>; 4],
+        sketches: [Option<&crate::delta::SketchRows>; 4],
+    ) -> SndBreakdown {
         // `Solver::Auto`-style tier routing: when the approximate tier is
         // active for this engine (configured, supported bank mode, graph at
         // least `min_nodes`), every scalar term is the midpoint of its
@@ -321,11 +357,12 @@ impl<'g> SndEngine<'g> {
         let approx = self.approx_if_active();
         let term = |geom: &GroundGeometry,
                     cache: Option<&RowCache>,
+                    sketch: Option<&crate::delta::SketchRows>,
                     p: &NetworkState,
                     q: &NetworkState,
                     op: Opinion| {
             if let Some(a_cfg) = &approx {
-                let (lo, hi) = self.approx_term(geom, cache, p, q, op, a_cfg);
+                let (lo, hi) = self.approx_term(geom, cache, sketch, p, q, op, a_cfg);
                 return 0.5 * (lo + hi);
             }
             sparse::emd_star_term(
@@ -342,14 +379,14 @@ impl<'g> SndEngine<'g> {
         let ((forward_pos, forward_neg), (backward_pos, backward_neg)) = rayon::join(
             || {
                 rayon::join(
-                    || term(geoms[0], caches[0], a, b, Opinion::Positive),
-                    || term(geoms[1], caches[1], a, b, Opinion::Negative),
+                    || term(geoms[0], caches[0], sketches[0], a, b, Opinion::Positive),
+                    || term(geoms[1], caches[1], sketches[1], a, b, Opinion::Negative),
                 )
             },
             || {
                 rayon::join(
-                    || term(geoms[2], caches[2], b, a, Opinion::Positive),
-                    || term(geoms[3], caches[3], b, a, Opinion::Negative),
+                    || term(geoms[2], caches[2], sketches[2], b, a, Opinion::Positive),
+                    || term(geoms[3], caches[3], sketches[3], b, a, Opinion::Negative),
                 )
             },
         );
@@ -378,26 +415,58 @@ impl<'g> SndEngine<'g> {
         Some(a.clone())
     }
 
-    /// The lazily-built sketch context (landmark set + quotient partition).
-    fn approx_ctx(&self) -> &ApproxCtx {
+    /// The lazily-built sketch context (landmark set + quotient hierarchy).
+    pub(crate) fn approx_ctx(&self) -> &ApproxCtx {
         self.approx_ctx.get_or_init(|| {
             let a = self.config.approx.clone().unwrap_or_default();
             approx::build_ctx(self.graph, &a)
         })
     }
 
+    /// The sketch context when the delta series path should maintain a
+    /// live landmark-row bundle: an approx config is present, valid, and
+    /// the bank mode is per-bin. Deliberately *not* gated on `min_nodes` —
+    /// interval surfaces run the sketch machinery on any size, so the
+    /// bundle must exist whenever intervals might be priced.
+    pub(crate) fn delta_sketch_ctx(&self) -> Option<&ApproxCtx> {
+        let a = self.config.approx.as_ref()?;
+        if a.validate().is_err() || approx::unsupported_bank_mode(&self.config).is_some() {
+            return None;
+        }
+        Some(self.approx_ctx())
+    }
+
     /// Certified `[lower, upper]` for one EMD\* term via the sketch tier.
     /// Falls back to a term-local row cache when the caller has none (the
     /// interval is certified either way; a shared cache just reuses SSSPs).
+    #[allow(clippy::too_many_arguments)] // the exact term surface plus the approx knobs
     pub(crate) fn approx_term(
         &self,
         geom: &GroundGeometry,
         cache: Option<&RowCache>,
+        sketch: Option<&crate::delta::SketchRows>,
         p: &NetworkState,
         q: &NetworkState,
         op: Opinion,
         approx_cfg: &ApproxConfig,
     ) -> (f64, f64) {
+        let outcome = self.approx_term_outcome(geom, cache, sketch, p, q, op, approx_cfg);
+        (outcome.lower, outcome.upper)
+    }
+
+    /// [`approx_term`](Self::approx_term) keeping the adaptive-placement
+    /// feedback — the series interval path consumes it.
+    #[allow(clippy::too_many_arguments)] // the exact term surface plus the approx knobs
+    fn approx_term_outcome(
+        &self,
+        geom: &GroundGeometry,
+        cache: Option<&RowCache>,
+        sketch: Option<&crate::delta::SketchRows>,
+        p: &NetworkState,
+        q: &NetworkState,
+        op: Opinion,
+        approx_cfg: &ApproxConfig,
+    ) -> approx::TermOutcome {
         let run = |c: &RowCache| {
             approx::emd_star_term_interval(
                 self.graph,
@@ -410,6 +479,7 @@ impl<'g> SndEngine<'g> {
                 &self.config,
                 approx_cfg,
                 c,
+                sketch,
             )
         };
         match cache {
@@ -434,15 +504,96 @@ impl<'g> SndEngine<'g> {
     ) -> Result<SndInterval, ApproxError> {
         let approx_cfg = self.validated_approx()?;
         let (ga, gb) = rayon::join(|| self.state_geometry(a), || self.state_geometry(b));
-        Ok(self.interval_with(a, b, &ga, &gb, &approx_cfg))
+        let interval = self.interval_with(a, b, &ga, &gb, &approx_cfg);
+        approx::emit_trace_summary("distance_interval");
+        Ok(interval)
     }
 
     /// Certified intervals for every adjacent transition of a series —
     /// the interval-carrying analogue of
-    /// [`series_distances`](Self::series_distances). Walks the series with
-    /// at most two geometry bundles live, reusing each shared ground
-    /// state's SSSP rows across its two transitions.
+    /// [`series_distances`](Self::series_distances), and like it
+    /// **delta-aware**: the series is walked with repairable
+    /// [`DeltaStateGeometry`](crate::delta::DeltaStateGeometry) bundles
+    /// (≤ 2 live), so edge costs are re-derived on touched edges only and
+    /// — when the engine carries an approx config — the 2·L landmark
+    /// sketch rows are *repaired* across each transition instead of
+    /// recomputed. After each priced transition the refinement loop's
+    /// worst-cell feedback adapts the next ground state's landmark set
+    /// ([`DeltaStateGeometry::adapt_sketch`](crate::delta::DeltaStateGeometry::adapt_sketch)).
     pub fn series_intervals(
+        &self,
+        states: &[NetworkState],
+    ) -> Result<Vec<SndInterval>, ApproxError> {
+        let approx_cfg = self.validated_approx()?;
+        if states.len() < 2 {
+            return Ok(Vec::new());
+        }
+        let g = self.graph;
+        let n = g.node_count();
+        let mut out = Vec::with_capacity(states.len() - 1);
+        let mut prev = crate::delta::DeltaStateGeometry::fresh(self, &states[0]);
+        let mut prev_rows = RowCache::new(n);
+        for t in 1..states.len() {
+            let delta = snd_models::StateDelta::between(g, &states[t - 1], &states[t]);
+            if delta.is_empty() {
+                out.push(SndInterval {
+                    lower: 0.0,
+                    upper: 0.0,
+                });
+                continue;
+            }
+            let mut cur = prev.step(self, &states[t], &delta);
+            let cur_rows = RowCache::new(n);
+            let (interval, feedback) = self.interval_terms(
+                &states[t - 1],
+                &states[t],
+                [&prev.pos.geom, &prev.neg.geom, &cur.pos.geom, &cur.neg.geom],
+                [
+                    Some(&prev_rows),
+                    Some(&prev_rows),
+                    Some(&cur_rows),
+                    Some(&cur_rows),
+                ],
+                [
+                    prev.pos.sketch.as_ref(),
+                    prev.neg.sketch.as_ref(),
+                    cur.pos.sketch.as_ref(),
+                    cur.neg.sketch.as_ref(),
+                ],
+                &approx_cfg,
+            );
+            out.push(interval);
+            // The backward terms ground in `cur`, which is exactly the
+            // next transition's forward ground state — fold their hot
+            // cells into its landmark set before stepping on.
+            let [_, _, feedback_pos, feedback_neg] = feedback;
+            cur.adapt_sketch(
+                self,
+                Opinion::Positive,
+                &feedback_pos,
+                approx_cfg.max_landmarks,
+            );
+            cur.adapt_sketch(
+                self,
+                Opinion::Negative,
+                &feedback_neg,
+                approx_cfg.max_landmarks,
+            );
+            prev = cur;
+            prev_rows = cur_rows;
+        }
+        approx::emit_trace_summary("series_intervals");
+        Ok(out)
+    }
+
+    /// The pre-delta interval series baseline: a fresh
+    /// [`state_geometry`](Self::state_geometry) per snapshot, landmark
+    /// rows re-fetched through each bundle's cache (2·L sketch SSSPs per
+    /// plane per snapshot), no adaptation. Certified exactly like
+    /// [`series_intervals`](Self::series_intervals); kept as the
+    /// re-sketch baseline the `scale_series` bench measures the
+    /// delta-repaired path against.
+    pub fn series_intervals_fresh(
         &self,
         states: &[NetworkState],
     ) -> Result<Vec<SndInterval>, ApproxError> {
@@ -464,6 +615,7 @@ impl<'g> SndEngine<'g> {
             out.push(self.interval_with(&states[t - 1], &states[t], &prev, &cur, &approx_cfg));
             prev = cur;
         }
+        approx::emit_trace_summary("series_intervals_fresh");
         Ok(out)
     }
 
@@ -480,8 +632,52 @@ impl<'g> SndEngine<'g> {
 
     /// Sums the four per-term intervals into the Eq. 3 SND interval
     /// (`½·Σ` of each envelope — interval arithmetic over independent
-    /// certified bounds). Terms run concurrently like
-    /// [`terms`](Self::terms).
+    /// certified bounds), keeping each term's adaptive-placement feedback
+    /// in breakdown order (forward+, forward−, backward+, backward−).
+    /// Terms run concurrently like [`terms`](Self::terms).
+    fn interval_terms(
+        &self,
+        a: &NetworkState,
+        b: &NetworkState,
+        geoms: [&GroundGeometry; 4],
+        caches: [Option<&RowCache>; 4],
+        sketches: [Option<&crate::delta::SketchRows>; 4],
+        approx_cfg: &ApproxConfig,
+    ) -> (SndInterval, [approx::TermFeedback; 4]) {
+        let term = |geom: &GroundGeometry,
+                    cache: Option<&RowCache>,
+                    sketch: Option<&crate::delta::SketchRows>,
+                    p: &NetworkState,
+                    q: &NetworkState,
+                    op| {
+            self.approx_term_outcome(geom, cache, sketch, p, q, op, approx_cfg)
+        };
+        let ((fp, fn_), (bp, bn)) = rayon::join(
+            || {
+                rayon::join(
+                    || term(geoms[0], caches[0], sketches[0], a, b, Opinion::Positive),
+                    || term(geoms[1], caches[1], sketches[1], a, b, Opinion::Negative),
+                )
+            },
+            || {
+                rayon::join(
+                    || term(geoms[2], caches[2], sketches[2], b, a, Opinion::Positive),
+                    || term(geoms[3], caches[3], sketches[3], b, a, Opinion::Negative),
+                )
+            },
+        );
+        let interval = SndInterval {
+            lower: 0.5 * (fp.lower + fn_.lower + bp.lower + bn.lower),
+            upper: 0.5 * (fp.upper + fn_.upper + bp.upper + bn.upper),
+        };
+        (
+            interval,
+            [fp.feedback, fn_.feedback, bp.feedback, bn.feedback],
+        )
+    }
+
+    /// [`interval_terms`](Self::interval_terms) over two per-state
+    /// bundles, feedback discarded — the pair-query surface.
     fn interval_with(
         &self,
         a: &NetworkState,
@@ -490,28 +686,25 @@ impl<'g> SndEngine<'g> {
         gb: &StateGeometry,
         approx_cfg: &ApproxConfig,
     ) -> SndInterval {
-        let term =
-            |geom: &GroundGeometry, cache: &RowCache, p: &NetworkState, q: &NetworkState, op| {
-                self.approx_term(geom, Some(cache), p, q, op, approx_cfg)
-            };
-        let ((fp, fn_), (bp, bn)) = rayon::join(
-            || {
-                rayon::join(
-                    || term(&ga.pos, &ga.cache, a, b, Opinion::Positive),
-                    || term(&ga.neg, &ga.cache, a, b, Opinion::Negative),
-                )
-            },
-            || {
-                rayon::join(
-                    || term(&gb.pos, &gb.cache, b, a, Opinion::Positive),
-                    || term(&gb.neg, &gb.cache, b, a, Opinion::Negative),
-                )
-            },
+        let (interval, _) = self.interval_terms(
+            a,
+            b,
+            [&ga.pos, &ga.neg, &gb.pos, &gb.neg],
+            [
+                Some(&ga.cache),
+                Some(&ga.cache),
+                Some(&gb.cache),
+                Some(&gb.cache),
+            ],
+            [
+                ga.sketch_pos.as_ref(),
+                ga.sketch_neg.as_ref(),
+                gb.sketch_pos.as_ref(),
+                gb.sketch_neg.as_ref(),
+            ],
+            approx_cfg,
         );
-        SndInterval {
-            lower: 0.5 * (fp.0 + fn_.0 + bp.0 + bn.0),
-            upper: 0.5 * (fp.1 + fn_.1 + bp.1 + bn.1),
-        }
+        interval
     }
 
     /// SND via the dense reference path (full APSP + full extended LP).
@@ -636,6 +829,31 @@ mod tests {
         let engine = SndEngine::new(&g, SndConfig::default());
         let s = NetworkState::from_values(&[1, 0, -1, 0, 1, 1, 0, -1]);
         assert_eq!(engine.distance(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn approx_activation_honors_the_measured_min_nodes_crossover() {
+        // BENCH_scale.json: the approximate tier's speedup crosses 1×
+        // between 10⁴ and 5·10⁴ nodes, so the default floor keeps smaller
+        // graphs on the faster exact tier. This pins both the constant
+        // and the boundary it gates.
+        assert_eq!(ApproxConfig::default().min_nodes, 50_000);
+        let config = SndConfig {
+            approx: Some(ApproxConfig::default()),
+            ..SndConfig::default()
+        };
+        let at = path_graph(50_000);
+        assert!(
+            SndEngine::new(&at, config.clone())
+                .approx_if_active()
+                .is_some(),
+            "at the crossover the tier activates"
+        );
+        let below = path_graph(49_999);
+        assert!(
+            SndEngine::new(&below, config).approx_if_active().is_none(),
+            "below the crossover the exact tier wins"
+        );
     }
 
     #[test]

@@ -82,6 +82,47 @@
 //! approximate, so exactness tests remain meaningful. Tier selection in
 //! short: small graph → exact; series → delta; huge graph + `approx` →
 //! certified intervals.
+//!
+//! ## Certified series: the sketch lifecycle
+//!
+//! An approximate **series** run composes the two fast paths.
+//! [`SndEngine::series_intervals`] carries one live [`SketchRows`] bundle
+//! per opinion plane along the series instead of re-sketching every
+//! snapshot:
+//!
+//! 1. **Build** — the first snapshot runs `2·L` landmark SSSPs per plane
+//!    (one to-landmark, one from-landmark row per landmark);
+//! 2. **Repair** — each transition repairs rows through the touched
+//!    edges ([`snd_graph::repair_row`]), under the same contract as the
+//!    cluster-geometry rows: repaired rows are **bit-identical** to
+//!    fresh SSSPs (`tests/sketch_repair.rs`). Repair is
+//!    **feedback-driven**: once pricing signal exists, only a small
+//!    budget of the most-recently-useful landmark pairs is kept
+//!    current; the rest are parked *stale* and excluded from envelopes
+//!    (a subset envelope is looser but still sound), so a series whose
+//!    refinement does not lean on the sketch stops paying for its
+//!    upkeep;
+//! 3. **Adapt** — term feedback credits the landmarks binding the
+//!    worst remaining `gap × flow` cells (these stay inside the repair
+//!    budget) and periodically promotes the hottest residual nodes into
+//!    the landmark set, evicting the least-recently-useful landmark —
+//!    stale pairs age fastest — once [`ApproxConfig::max_landmarks`] is
+//!    reached;
+//! 4. **Fall back** — high-churn transitions (touched edges above
+//!    `1/`[`REPAIR_EDGE_FRACTION`] of the graph) rebuild the sketch
+//!    fresh — every pair, reviving stale ones — exactly like the
+//!    cluster rows.
+//!
+//! The envelope solves behind each term run on a **recursive quotient**:
+//! the quotient graph is itself `bfs_partition`-coarsened (fanout 8, up
+//! to 6 levels) so the coarse solve stays bounded for `n ≥ 10⁷`, with
+//! per-level `[lo, hi]` cost propagation keeping every interval
+//! certified. Shard checkpoints written under an active approximate tier
+//! persist each tile's `[lo, hi]` pairs (`I` lines, see [`shard`]), so
+//! merged matrices stay re-certifiable; `SND_APPROX_TRACE=1` prints a
+//! per-run summary of sketch repairs/reuses/stale parks/rebuilds, the
+//! sketch→ball→re-ball→exact refinement ladder, and per-phase wall
+//! time.
 
 pub mod approx;
 pub mod banks;
@@ -98,7 +139,7 @@ pub use approx::{ApproxConfig, ApproxError, SndInterval};
 pub use banks::GroundGeometry;
 pub use batch::DistanceMatrix;
 pub use config::{ClusterSpec, GammaPolicy, SndConfig};
-pub use delta::{DeltaStateGeometry, SeriesEvaluator, REPAIR_EDGE_FRACTION};
+pub use delta::{DeltaStateGeometry, SeriesEvaluator, SketchRows, REPAIR_EDGE_FRACTION};
 pub use engine::{SndBreakdown, SndEngine, StateGeometry};
 pub use ordered::{CandidateEvaluator, OrderedSnd};
 pub use shard::{

@@ -47,6 +47,7 @@
 //! SNDSHARD v1
 //! k <states> tile <tile_size> fingerprint <hex64>
 //! T <tile_id> <pair_count> <f64-bits-hex> <f64-bits-hex> ...
+//! I <tile_id> <pair_count> <lo-bits-hex> <hi-bits-hex> ...
 //! T ...
 //! ```
 //!
@@ -56,6 +57,14 @@
 //! against a different dataset, graph, or configuration. Distances are
 //! serialized as the hex of their IEEE-754 bits — round-trips are exact,
 //! which is what makes resume bit-identical.
+//!
+//! When the approximate tier is active, each `T` line is followed by an
+//! `I` line carrying the tile's certified `[lo, hi]` interval pairs (same
+//! pair order, two hex words per pair), so merged shard matrices stay
+//! re-certifiable ([`TileSet::pair_interval`]). Readers tolerate both
+//! `T`-only files (exact-tier runs and pre-interval checkpoints — the
+//! tile loads with no interval) and a trailing `T` whose `I` line was
+//! lost to a kill.
 //! Tile lines are appended (and flushed) one at a time as tiles finish; on
 //! load, a truncated or corrupt trailing line (the half-written remnant of
 //! an interrupted run) is discarded and its tile recomputed.
@@ -81,6 +90,7 @@ use std::path::Path;
 use rayon::prelude::*;
 use snd_models::NetworkState;
 
+use crate::approx::SndInterval;
 use crate::batch::DistanceMatrix;
 use crate::engine::{SndBreakdown, SndEngine, StateGeometry};
 
@@ -125,8 +135,9 @@ pub fn auto_tile(states: usize, nodes: usize) -> usize {
 const MAGIC: &str = "SNDSHARD v1";
 
 /// Hook invoked with each finished tile before it is recorded — the
-/// checkpoint append point.
-type OnTile<'a> = dyn FnMut(usize, &[f64]) -> Result<(), ShardError> + 'a;
+/// checkpoint append point. The third argument is the tile's certified
+/// `[lo, hi]` pairs when the approximate tier produced them.
+type OnTile<'a> = dyn FnMut(usize, &[f64], Option<&[(f64, f64)]>) -> Result<(), ShardError> + 'a;
 
 /// Tile-computation callee plugged into the shared checkpointed-run
 /// skeleton (`SndEngine::run_checkpointed`): the batch plan path or the
@@ -413,6 +424,11 @@ pub struct TileSet {
     grid: TileGrid,
     fingerprint: u64,
     tiles: BTreeMap<usize, Vec<f64>>,
+    /// Certified `[lo, hi]` envelopes for tiles computed by an active
+    /// approximate tier, keyed like `tiles` (same pair order). Exact-tier
+    /// tiles — and tiles loaded from pre-interval checkpoints — have no
+    /// entry.
+    intervals: BTreeMap<usize, Vec<(f64, f64)>>,
 }
 
 impl TileSet {
@@ -422,6 +438,7 @@ impl TileSet {
             grid,
             fingerprint,
             tiles: BTreeMap::new(),
+            intervals: BTreeMap::new(),
         }
     }
 
@@ -456,15 +473,37 @@ impl TileSet {
     /// Distance of pair `(i, j)` if its tile is present (`Some(0.0)` on
     /// the diagonal).
     pub fn pair(&self, i: usize, j: usize) -> Option<f64> {
-        if i >= self.grid.k || j >= self.grid.k {
-            return None;
-        }
-        if i == j {
+        if i == j && i < self.grid.k {
             return Some(0.0);
+        }
+        let (id, idx) = self.pair_slot(i, j)?;
+        Some(self.tiles.get(&id)?[idx])
+    }
+
+    /// Certified `[lo, hi]` interval of pair `(i, j)`, when its tile both
+    /// is present and carries intervals (approximate-tier tiles; see the
+    /// format notes). The diagonal is exactly zero; exact-tier and
+    /// pre-interval-format tiles return `None`.
+    pub fn pair_interval(&self, i: usize, j: usize) -> Option<SndInterval> {
+        if i == j && i < self.grid.k {
+            return Some(SndInterval {
+                lower: 0.0,
+                upper: 0.0,
+            });
+        }
+        let (id, idx) = self.pair_slot(i, j)?;
+        let (lower, upper) = self.intervals.get(&id)?[idx];
+        Some(SndInterval { lower, upper })
+    }
+
+    /// `(tile id, index into the tile's pair order)` of an off-diagonal
+    /// pair, or `None` when out of range.
+    fn pair_slot(&self, i: usize, j: usize) -> Option<(usize, usize)> {
+        if i >= self.grid.k || j >= self.grid.k || i == j {
+            return None;
         }
         let (i, j) = (i.min(j), i.max(j));
         let (bi, bj) = (i / self.grid.tile, j / self.grid.tile);
-        let values = self.tiles.get(&self.grid.id(bi, bj))?;
         let (r, c) = (i - bi * self.grid.tile, j - bj * self.grid.tile);
         let idx = if bi == bj {
             let w = self.grid.range(bi).len();
@@ -472,7 +511,7 @@ impl TileSet {
         } else {
             r * self.grid.range(bj).len() + c
         };
-        Some(values[idx])
+        Some((self.grid.id(bi, bj), idx))
     }
 
     /// Inserts a completed tile (values in the grid's pair order).
@@ -483,12 +522,26 @@ impl TileSet {
             "tile value count must match the grid"
         );
         self.tiles.insert(id, values);
+        self.intervals.remove(&id);
+    }
+
+    /// [`insert`](Self::insert) with the tile's certified `[lo, hi]`
+    /// envelopes (same pair order) — what the approximate tier records.
+    pub fn insert_certified(&mut self, id: usize, values: Vec<f64>, intervals: Vec<(f64, f64)>) {
+        assert_eq!(
+            intervals.len(),
+            self.grid.pair_count(id),
+            "tile interval count must match the grid"
+        );
+        self.insert(id, values);
+        self.intervals.insert(id, intervals);
     }
 
     /// Keeps only the listed tiles.
     pub(crate) fn restrict(mut self, ids: &[usize]) -> Self {
         let keep: std::collections::BTreeSet<usize> = ids.iter().copied().collect();
         self.tiles.retain(|id, _| keep.contains(id));
+        self.intervals.retain(|id, _| keep.contains(id));
         self
     }
 
@@ -530,6 +583,27 @@ impl TileSet {
                     }
                 }
             }
+            // Certification survives the merge: a tile's intervals come
+            // from whichever part carries them (an old midpoint-only
+            // artifact contributes none), and two certified copies of the
+            // same tile must agree bit-for-bit — with identical values and
+            // fingerprints a disagreement means a corrupt artifact.
+            for (id, ivs) in part.intervals {
+                match merged.intervals.get(&id) {
+                    Some(existing) => {
+                        let same = existing.len() == ivs.len()
+                            && existing.iter().zip(&ivs).all(|(a, b)| {
+                                a.0.to_bits() == b.0.to_bits() && a.1.to_bits() == b.1.to_bits()
+                            });
+                        if !same {
+                            return Err(ShardError::Overlap { tile: id });
+                        }
+                    }
+                    None => {
+                        merged.intervals.insert(id, ivs);
+                    }
+                }
+            }
         }
         Ok(merged)
     }
@@ -557,6 +631,9 @@ impl TileSet {
         header_lines(&mut out, &self.grid, self.fingerprint);
         for (&id, values) in &self.tiles {
             tile_line(&mut out, id, values);
+            if let Some(ivs) = self.intervals.get(&id) {
+                interval_line(&mut out, id, ivs);
+            }
         }
         std::fs::write(path, out)?;
         Ok(())
@@ -602,6 +679,22 @@ impl TileSet {
             let Some(complete) = line.strip_suffix('\n') else {
                 break;
             };
+            // An `I` line certifies the tile it names, which must already
+            // be present (its `T` line precedes it) and uncertified. A
+            // tile whose `I` line was lost to a kill stays valid — just
+            // uncertified — so resume never recomputes it.
+            if complete.starts_with('I') {
+                match parse_interval_line(complete, &grid) {
+                    Some((id, ivs))
+                        if set.tiles.contains_key(&id) && !set.intervals.contains_key(&id) =>
+                    {
+                        set.intervals.insert(id, ivs);
+                        offset += line.len() as u64;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
             match parse_tile_line(complete, &grid) {
                 Some((id, values)) if !set.tiles.contains_key(&id) => {
                     set.tiles.insert(id, values);
@@ -631,10 +724,27 @@ fn tile_line(out: &mut String, id: usize, values: &[f64]) {
     out.push('\n');
 }
 
-/// Appends one finished tile to a checkpoint file and flushes it.
-fn append_tile(file: &mut std::fs::File, id: usize, values: &[f64]) -> Result<(), ShardError> {
+fn interval_line(out: &mut String, id: usize, intervals: &[(f64, f64)]) {
+    out.push_str(&format!("I {id} {}", intervals.len()));
+    for (lo, hi) in intervals {
+        out.push_str(&format!(" {:016x} {:016x}", lo.to_bits(), hi.to_bits()));
+    }
+    out.push('\n');
+}
+
+/// Appends one finished tile (plus its certification line, when the
+/// approximate tier produced one) to a checkpoint file and flushes it.
+fn append_tile(
+    file: &mut std::fs::File,
+    id: usize,
+    values: &[f64],
+    intervals: Option<&[(f64, f64)]>,
+) -> Result<(), ShardError> {
     let mut line = String::new();
     tile_line(&mut line, id, values);
+    if let Some(ivs) = intervals {
+        interval_line(&mut line, id, ivs);
+    }
     file.write_all(line.as_bytes())?;
     file.flush()?;
     Ok(())
@@ -683,6 +793,60 @@ fn parse_tile_line(line: &str, grid: &TileGrid) -> Option<(usize, Vec<f64>)> {
     Some((id, values))
 }
 
+fn parse_interval_line(line: &str, grid: &TileGrid) -> Option<(usize, Vec<(f64, f64)>)> {
+    let mut t = line.split_ascii_whitespace();
+    if t.next()? != "I" {
+        return None;
+    }
+    let id: usize = t.next()?.parse().ok()?;
+    if id >= grid.tile_count() {
+        return None;
+    }
+    let count: usize = t.next()?.parse().ok()?;
+    if count != grid.pair_count(id) {
+        return None;
+    }
+    let mut intervals = Vec::with_capacity(count);
+    for _ in 0..count {
+        let lo = f64::from_bits(u64::from_str_radix(t.next()?, 16).ok()?);
+        let hi = f64::from_bits(u64::from_str_radix(t.next()?, 16).ok()?);
+        intervals.push((lo, hi));
+    }
+    if t.next().is_some() {
+        return None;
+    }
+    Some((id, intervals))
+}
+
+/// Folds a tile's per-term `[lo, hi]` envelopes (four per pair, in
+/// [`SndBreakdown`] order) into the tile's scalar values — bit-identical
+/// to what [`SndEngine::pair_term`] reports, since each term collapses to
+/// its exact value when the envelope is zero-width and to its midpoint
+/// otherwise — plus, when `certified`, the per-pair `[lo, hi]` list the
+/// `I` checkpoint lines persist.
+fn fold_tile_terms(terms: &[(f64, f64)], certified: bool) -> (Vec<f64>, Option<Vec<(f64, f64)>>) {
+    fn breakdown(t: &[(f64, f64)], pick: impl Fn(&(f64, f64)) -> f64) -> f64 {
+        SndBreakdown {
+            forward_pos: pick(&t[0]),
+            forward_neg: pick(&t[1]),
+            backward_pos: pick(&t[2]),
+            backward_neg: pick(&t[3]),
+        }
+        .total()
+    }
+    let values = terms
+        .chunks_exact(4)
+        .map(|t| breakdown(t, |&(lo, hi)| if lo == hi { lo } else { 0.5 * (lo + hi) }))
+        .collect();
+    let intervals = certified.then(|| {
+        terms
+            .chunks_exact(4)
+            .map(|t| (breakdown(t, |&(lo, _)| lo), breakdown(t, |&(_, hi)| hi)))
+            .collect()
+    });
+    (values, intervals)
+}
+
 /// Outcome of a checkpointed shard run: the plan's tiles plus how much of
 /// the plan was resumed from the checkpoint versus computed fresh.
 #[derive(Debug)]
@@ -723,7 +887,7 @@ impl<'g> SndEngine<'g> {
     /// [`pairwise_distances_seq`](Self::pairwise_distances_seq).
     pub fn pairwise_tiles(&self, states: &[NetworkState], plan: &ShardPlan) -> TileSet {
         let mut set = TileSet::empty(*plan.grid(), self.shard_fingerprint(states));
-        self.compute_plan_tiles(states, plan, &mut set, &mut |_, _| Ok(()))
+        self.compute_plan_tiles(states, plan, &mut set, &mut |_, _, _| Ok(()))
             // lint:allow(no-unwrap) the no-op sink closure is the only error source and always returns Ok
             .expect("in-memory tile computation performs no IO");
         set
@@ -761,8 +925,8 @@ impl<'g> SndEngine<'g> {
             .iter()
             .filter(|id| set.contains(**id))
             .count();
-        compute(self, states, plan, &mut set, &mut |id, values| {
-            append_tile(&mut file, id, values)
+        compute(self, states, plan, &mut set, &mut |id, values, ivs| {
+            append_tile(&mut file, id, values, ivs)
         })?;
         Ok(ShardRun {
             tiles: set.restrict(plan.tile_ids()),
@@ -855,6 +1019,9 @@ impl<'g> SndEngine<'g> {
             .copied()
             .filter(|id| !set.contains(*id))
             .collect();
+        // An active approximate tier prices every term as a certified
+        // envelope; persist those alongside the scalar tile values.
+        let certified = self.approx_if_active().is_some();
 
         // A state's geometry bundle stays alive from the first tile that
         // needs it to the last, then is dropped — a shard never holds
@@ -895,7 +1062,7 @@ impl<'g> SndEngine<'g> {
             // Term-granularity fan-out, exactly like `pairwise_distances`:
             // the four EMD* solves of a pair are independent, and finer
             // work items load-balance better than whole pairs.
-            let terms: Vec<f64> = (0..pairs.len() * 4)
+            let terms: Vec<(f64, f64)> = (0..pairs.len() * 4)
                 .into_par_iter()
                 .map(|t| {
                     let (i, j) = pairs[t / 4];
@@ -905,24 +1072,16 @@ impl<'g> SndEngine<'g> {
                         // lint:allow(no-unwrap) the materialization pass above filled every index in `pairs`
                         geoms[j].as_ref().expect("geometry materialized"),
                     );
-                    self.pair_term(&states[i], &states[j], ga, gb, t % 4)
+                    self.pair_term_interval(&states[i], &states[j], ga, gb, t % 4)
                 })
                 .collect();
-            let values: Vec<f64> = terms
-                .chunks_exact(4)
-                .map(|t| {
-                    SndBreakdown {
-                        forward_pos: t[0],
-                        forward_neg: t[1],
-                        backward_pos: t[2],
-                        backward_neg: t[3],
-                    }
-                    .total()
-                })
-                .collect();
+            let (values, intervals) = fold_tile_terms(&terms, certified);
 
-            on_tile(id, &values)?;
-            set.insert(id, values);
+            on_tile(id, &values, intervals.as_deref())?;
+            match intervals {
+                Some(ivs) => set.insert_certified(id, values, ivs),
+                None => set.insert(id, values),
+            }
             for &s in touched {
                 if last_use[s] == pos {
                     geoms[s] = None;
@@ -981,6 +1140,7 @@ impl<'g> SndEngine<'g> {
             .copied()
             .filter(|id| !set.contains(*id))
             .collect();
+        let certified = self.approx_if_active().is_some();
 
         let mut last_use = vec![usize::MAX; states.len()];
         let tile_states: Vec<Vec<usize>> = todo
@@ -1033,11 +1193,11 @@ impl<'g> SndEngine<'g> {
             // Identical states price to exactly zero (every EMD* term of
             // an equal pair vanishes) — skip their solves outright.
             let equal: Vec<bool> = pairs.iter().map(|&(i, j)| states[i] == states[j]).collect();
-            let terms: Vec<f64> = (0..pairs.len() * 4)
+            let terms: Vec<(f64, f64)> = (0..pairs.len() * 4)
                 .into_par_iter()
                 .map(|t| {
                     if equal[t / 4] {
-                        return 0.0;
+                        return (0.0, 0.0);
                     }
                     let (i, j) = pairs[t / 4];
                     let (ga, gb) = (
@@ -1046,24 +1206,16 @@ impl<'g> SndEngine<'g> {
                         // lint:allow(no-unwrap) the materialization pass above filled every index in `pairs`
                         geoms[j].as_ref().expect("geometry materialized"),
                     );
-                    self.pair_term(&states[i], &states[j], ga, gb, t % 4)
+                    self.pair_term_interval(&states[i], &states[j], ga, gb, t % 4)
                 })
                 .collect();
-            let values: Vec<f64> = terms
-                .chunks_exact(4)
-                .map(|t| {
-                    SndBreakdown {
-                        forward_pos: t[0],
-                        forward_neg: t[1],
-                        backward_pos: t[2],
-                        backward_neg: t[3],
-                    }
-                    .total()
-                })
-                .collect();
+            let (values, intervals) = fold_tile_terms(&terms, certified);
 
-            on_tile(id, &values)?;
-            set.insert(id, values);
+            on_tile(id, &values, intervals.as_deref())?;
+            match intervals {
+                Some(ivs) => set.insert_certified(id, values, ivs),
+                None => set.insert(id, values),
+            }
             for &s in touched {
                 if last_use[s] == pos {
                     geoms[s] = None;
@@ -1297,6 +1449,127 @@ mod tests {
             base,
             SndEngine::new(&g2, SndConfig::default()).shard_fingerprint(&s)
         );
+    }
+
+    fn approx_engine_config() -> SndConfig {
+        SndConfig {
+            approx: Some(crate::approx::ApproxConfig {
+                epsilon: 0.5,
+                min_nodes: 0,
+                ..Default::default()
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn interval_lines_roundtrip_and_certify_pairs() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, approx_engine_config());
+        let s = states(5);
+        let grid = TileGrid::new(5, 2);
+        let path =
+            std::env::temp_dir().join(format!("snd_shard_intervals_{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let run = engine
+            .pairwise_tiles_checkpointed(&s, &ShardPlan::full(grid), &path)
+            .unwrap();
+        let set = run.tiles;
+        for i in 0..5 {
+            for j in 0..5 {
+                let d = set.pair(i, j).unwrap();
+                let iv = set.pair_interval(i, j).expect("approx tiles certify");
+                assert!(
+                    iv.lower <= d + 1e-12 && d <= iv.upper + 1e-12,
+                    "({i},{j}): {d} outside [{}, {}]",
+                    iv.lower,
+                    iv.upper
+                );
+                if i == j {
+                    assert_eq!((iv.lower, iv.upper), (0.0, 0.0));
+                }
+            }
+        }
+        // The checkpoint file round-trips the intervals bit-exactly.
+        let loaded = TileSet::load(&path).unwrap();
+        assert_eq!(loaded, set);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn old_midpoint_checkpoints_still_load_and_merge() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, approx_engine_config());
+        let s = states(4);
+        let grid = TileGrid::new(4, 2);
+        let new_set = engine.pairwise_tiles(&s, &ShardPlan::full(grid));
+        assert!(!new_set.intervals.is_empty());
+        let path =
+            std::env::temp_dir().join(format!("snd_shard_old_format_{}.ckpt", std::process::id()));
+        new_set.save(&path).unwrap();
+
+        // Strip the `I` lines: exactly what a pre-interval artifact holds.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().any(|l| l.starts_with("I ")));
+        let old: String = text
+            .lines()
+            .filter(|l| !l.starts_with("I "))
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        std::fs::write(&path, old).unwrap();
+        let old_set = TileSet::load(&path).unwrap();
+        assert_eq!(old_set.tiles, new_set.tiles, "midpoints survive");
+        assert!(old_set.intervals.is_empty());
+        assert_eq!(old_set.pair_interval(0, 1), None);
+
+        // Merging an old artifact with a certified one re-certifies it.
+        let merged = TileSet::merge([old_set, new_set.clone()]).unwrap();
+        assert_eq!(merged, new_set);
+        assert!(merged.pair_interval(0, 1).is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn exact_tier_writes_no_interval_lines() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states(4);
+        let grid = TileGrid::new(4, 2);
+        let path =
+            std::env::temp_dir().join(format!("snd_shard_exact_tier_{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let run = engine
+            .pairwise_tiles_checkpointed(&s, &ShardPlan::full(grid), &path)
+            .unwrap();
+        assert!(run.tiles.intervals.is_empty());
+        assert_eq!(run.tiles.pair_interval(0, 1), None);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().all(|l| !l.starts_with("I ")));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_interval_line_keeps_its_tile() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, approx_engine_config());
+        let s = states(4);
+        let grid = TileGrid::new(4, 2);
+        let set = engine.pairwise_tiles(&s, &ShardPlan::full(grid));
+        let path = std::env::temp_dir().join(format!(
+            "snd_shard_cut_interval_{}.ckpt",
+            std::process::id()
+        ));
+        set.save(&path).unwrap();
+        // Kill mid-append: the last `I` line loses its trailing newline.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.strip_suffix('\n').unwrap();
+        assert!(cut.lines().last().unwrap().starts_with("I "));
+        std::fs::write(&path, cut).unwrap();
+        let loaded = TileSet::load(&path).unwrap();
+        // Every tile survives; only the interrupted certification is lost.
+        assert_eq!(loaded.tiles, set.tiles);
+        assert_eq!(loaded.intervals.len(), set.intervals.len() - 1);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
