@@ -7,6 +7,14 @@
 //! completed tiles instead of starting over. The checkpoint is bound to
 //! the snapshot set by fingerprint and results are bit-identical to the
 //! non-checkpointed evaluation.
+//!
+//! Checkpoints written here also carry advisory per-tile `W` timing
+//! lines (compute wall seconds), which the distributed orchestrator
+//! (`snd_orchestrate`) reads to warm-start its lease autotuner when a
+//! single-process run is later finished by a worker fleet — and vice
+//! versa. Timings never participate in checkpoint equality or
+//! fingerprint validation, so pre-timing checkpoint files (no `W`
+//! lines) load and resume unchanged.
 
 use std::path::Path;
 
@@ -171,6 +179,46 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let intervals = series_intervals_checkpointed(&exact, &s, 2, &path).unwrap();
         assert!(intervals.iter().all(|iv| iv.is_none()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_checkpoints_carry_timings_and_old_formats_still_load() {
+        let g = path_graph(6);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states();
+        let path = temp_path("timings.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let first = pairwise_distances_checkpointed(&engine, &s, 2, &path).unwrap();
+
+        // Every computed tile left an advisory `W` timing line — the
+        // orchestrator's autotuner warm-starts from these.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().any(|l| l.starts_with("W ")),
+            "resume-path checkpoints should carry W timing lines:\n{text}"
+        );
+        let grid = TileGrid::new(s.len(), 2);
+        let (set, _ckpt) =
+            snd_core::Checkpoint::open(&path, grid, engine.shard_fingerprint(&s)).unwrap();
+        for id in 0..grid.tile_count() {
+            assert!(
+                set.timing(id).is_some(),
+                "tile {id} lost its timing on reload"
+            );
+        }
+
+        // Strip the `W` lines to fake a pre-timing checkpoint: it must
+        // still load, resume without recomputation, and agree bit-for-bit.
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("W "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&path, stripped).unwrap();
+        let second = pairwise_distances_checkpointed(&engine, &s, 2, &path).unwrap();
+        assert_eq!(first, second);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -25,14 +25,14 @@ use snd_models::{flips_between, GroundCostConfig, NetworkState, Opinion};
 use crate::dataset::{Dataset, ModelRecord};
 
 /// `--flag value` lookup over raw arguments.
-fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+pub(crate) fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
 }
 
-fn flag(args: &[String], name: &str) -> bool {
+pub(crate) fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
@@ -40,7 +40,7 @@ fn flag(args: &[String], name: &str) -> bool {
 /// the default on a malformed value; flags where that would mask a user
 /// error (the approximate-tier knobs) go through this and parse explicitly
 /// so `--epsilon abc` is a structured error, not a silent default.
-fn opt_raw<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+pub(crate) fn opt_raw<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
@@ -280,7 +280,7 @@ fn ground_config_for(
 /// The engine config for a dataset run, honoring an optional `--ground`,
 /// an optional `--clusters N` (cluster-bank mode instead of the per-bin
 /// default), and the approximate-tier flags (`--approx --epsilon E`).
-fn engine_config(
+pub(crate) fn engine_config(
     args: &[String],
     graph: &snd_graph::CsrGraph,
     recorded: Option<&ModelRecord>,
@@ -533,7 +533,37 @@ fn shard_merge(args: &[String]) -> Result<(), String> {
         .collect::<Result<Vec<_>, _>>()?;
     let merged = TileSet::merge(sets).map_err(|e| e.to_string())?;
     let matrix = merged.to_matrix().map_err(|e| e.to_string())?;
+    write_matrix_json(&matrix, &out)?;
+    if merged.certified_tile_count() > 0 && merged.certified_tile_count() < merged.tile_count() {
+        println!(
+            "note: {} of {} tile(s) lack certified intervals; the merged matrix is \
+             midpoint-only (downgraded, no interval guarantees)",
+            merged.tile_count() - merged.certified_tile_count(),
+            merged.tile_count()
+        );
+    }
 
+    let adjacent = matrix.adjacent();
+    let mean = if adjacent.is_empty() {
+        0.0
+    } else {
+        adjacent.iter().sum::<f64>() / adjacent.len() as f64
+    };
+    println!(
+        "merged {} artifact(s): {} states, {} tile(s), mean adjacent SND {mean:.4} -> {out}",
+        parts.len(),
+        matrix.size(),
+        merged.tile_count()
+    );
+    Ok(())
+}
+
+/// Writes a distance matrix as the `{"size":K,"rows":[[..]]}` JSON both
+/// `snd shard merge` and `snd orchestrate --out` emit.
+pub(crate) fn write_matrix_json(
+    matrix: &snd_core::DistanceMatrix,
+    out: &str,
+) -> Result<(), String> {
     let k = matrix.size();
     let mut json = String::with_capacity(k * k * 8 + 32);
     json.push_str(&format!("{{\"size\":{k},\"rows\":["));
@@ -551,20 +581,7 @@ fn shard_merge(args: &[String]) -> Result<(), String> {
         json.push(']');
     }
     json.push_str("]}");
-    std::fs::write(&out, json).map_err(|e| format!("writing {out}: {e}"))?;
-
-    let adjacent = matrix.adjacent();
-    let mean = if adjacent.is_empty() {
-        0.0
-    } else {
-        adjacent.iter().sum::<f64>() / adjacent.len() as f64
-    };
-    println!(
-        "merged {} artifact(s): {k} states, {} tile(s), mean adjacent SND {mean:.4} -> {out}",
-        parts.len(),
-        merged.tile_count()
-    );
-    Ok(())
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))
 }
 
 /// Parses `--shard I/N`.

@@ -16,12 +16,16 @@
 //! snd shard --data data.json --shard 0/2 \
 //!           --checkpoint part0.snd                       # one resumable shard
 //! snd shard merge --out matrix.json part0.snd part1.snd  # reassemble
+//! snd orchestrate --data data.json --checkpoint run.snd \
+//!                 --workers 4                            # distributed all-pairs
+//! snd work --data data.json --addr host:7070            # one remote worker
 //! ```
 
 use std::process::ExitCode;
 
 mod commands;
 mod dataset;
+mod orchestrate;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +42,8 @@ fn main() -> ExitCode {
         "predict" => commands::predict(rest),
         "intervene" => commands::intervene(rest),
         "shard" => commands::shard(rest),
+        "orchestrate" => orchestrate::orchestrate(rest),
+        "work" => orchestrate::work(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -71,6 +77,11 @@ fn print_usage() {
          \u{20}      [--steps T] [--rollouts R] [--horizon H] [--seed S]\n\
          \u{20}  snd shard    --data FILE --shard I/N --checkpoint FILE [--tile T] [APPROX]\n\
          \u{20}  snd shard merge --out FILE PART...\n\
+         \u{20}  snd orchestrate --data FILE --checkpoint FILE [--workers N] [--listen ADDR]\n\
+         \u{20}      [--tile T] [--lease-timeout S] [--target-lease S] [--out FILE]\n\
+         \u{20}      [--no-overlap] [--ground MODEL] [APPROX]\n\
+         \u{20}  snd work --data FILE --addr ADDR [--no-overlap] [--connect-retry S]\n\
+         \u{20}      [--read-timeout S] [--ground MODEL] [APPROX]\n\
          \n\
          APPROX (certified [lower, upper] intervals instead of exact SND):\n\
          \u{20}  --approx [--epsilon E] [--landmarks L] [--budget B]\n"

@@ -143,6 +143,8 @@ pub use delta::{DeltaStateGeometry, SeriesEvaluator, SketchRows, REPAIR_EDGE_FRA
 pub use engine::{SndBreakdown, SndEngine, StateGeometry};
 pub use ordered::{CandidateEvaluator, OrderedSnd};
 pub use shard::{
-    auto_tile, states_fingerprint, ShardError, ShardPlan, TileGrid, TileSet, DEFAULT_TILE,
+    auto_tile, interval_line, parse_interval_line, parse_tile_line, parse_timing_line,
+    states_fingerprint, tile_line, timing_line, Checkpoint, ShardError, ShardPlan, TileGrid,
+    TileSet, DEFAULT_TILE,
 };
 pub use sparse::RowCache;

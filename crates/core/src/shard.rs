@@ -48,6 +48,7 @@
 //! k <states> tile <tile_size> fingerprint <hex64>
 //! T <tile_id> <pair_count> <f64-bits-hex> <f64-bits-hex> ...
 //! I <tile_id> <pair_count> <lo-bits-hex> <hi-bits-hex> ...
+//! W <tile_id> <seconds-bits-hex>
 //! T ...
 //! ```
 //!
@@ -65,6 +66,15 @@
 //! `T`-only files (exact-tier runs and pre-interval checkpoints — the
 //! tile loads with no interval) and a trailing `T` whose `I` line was
 //! lost to a kill.
+//! Each `T` line (after its optional `I` line) may be followed by a `W`
+//! line recording the tile's observed compute wall time in seconds (hex
+//! of the IEEE-754 bits, like distances). Timings are *advisory*: the
+//! orchestrator's autotuner warm-starts its per-tile cost model from
+//! them, but they never participate in artifact identity — two artifacts
+//! with identical tiles and different timings are equal — and readers
+//! predating the `W` line simply treated such files as ending at the
+//! first `W` (new-format files are not readable by old readers; old files
+//! load fine here).
 //! Tile lines are appended (and flushed) one at a time as tiles finish; on
 //! load, a truncated or corrupt trailing line (the half-written remnant of
 //! an interrupted run) is discarded and its tile recomputed.
@@ -136,8 +146,13 @@ const MAGIC: &str = "SNDSHARD v1";
 
 /// Hook invoked with each finished tile before it is recorded — the
 /// checkpoint append point. The third argument is the tile's certified
-/// `[lo, hi]` pairs when the approximate tier produced them.
-type OnTile<'a> = dyn FnMut(usize, &[f64], Option<&[(f64, f64)]>) -> Result<(), ShardError> + 'a;
+/// `[lo, hi]` pairs when the approximate tier produced them; the fourth
+/// is the tile's observed compute wall time in seconds (geometry
+/// materialization attributed to the tile that triggered it), which the
+/// checkpoint persists as a `W` line and the orchestrator's autotuner
+/// feeds on.
+pub type OnTile<'a> =
+    dyn FnMut(usize, &[f64], Option<&[(f64, f64)]>, f64) -> Result<(), ShardError> + 'a;
 
 /// Tile-computation callee plugged into the shared checkpointed-run
 /// skeleton (`SndEngine::run_checkpointed`): the batch plan path or the
@@ -419,7 +434,7 @@ fn eat_states(h: &mut Fnv, states: &[NetworkState]) {
 /// A set of computed tiles over one grid and dataset: a partial (or full)
 /// all-pairs artifact. Produced by the engine's tile entry points and by
 /// [`TileSet::load`]; reassembled by [`TileSet::merge`].
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct TileSet {
     grid: TileGrid,
     fingerprint: u64,
@@ -429,6 +444,21 @@ pub struct TileSet {
     /// tiles — and tiles loaded from pre-interval checkpoints — have no
     /// entry.
     intervals: BTreeMap<usize, Vec<(f64, f64)>>,
+    /// Observed per-tile compute wall seconds (`W` checkpoint lines) —
+    /// advisory autotuner measurements, never part of artifact identity.
+    timings: BTreeMap<usize, f64>,
+}
+
+/// Artifact identity is the grid, the dataset fingerprint, and the tile
+/// values/intervals. Timings are wall-clock *measurements* — they differ
+/// between bit-identical runs — so equality deliberately ignores them.
+impl PartialEq for TileSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.grid == other.grid
+            && self.fingerprint == other.fingerprint
+            && self.tiles == other.tiles
+            && self.intervals == other.intervals
+    }
 }
 
 impl TileSet {
@@ -439,6 +469,7 @@ impl TileSet {
             fingerprint,
             tiles: BTreeMap::new(),
             intervals: BTreeMap::new(),
+            timings: BTreeMap::new(),
         }
     }
 
@@ -455,6 +486,31 @@ impl TileSet {
     /// Number of tiles present.
     pub fn tile_count(&self) -> usize {
         self.tiles.len()
+    }
+
+    /// Number of present tiles carrying certified `[lo, hi]` intervals.
+    /// Equal to [`tile_count`](Self::tile_count) iff every present tile
+    /// re-certifies; smaller when midpoint-only (old-format or exact-tier)
+    /// tiles are mixed in.
+    pub fn certified_tile_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether a present tile carries certified intervals.
+    pub fn is_certified(&self, id: usize) -> bool {
+        self.intervals.contains_key(&id)
+    }
+
+    /// Observed compute wall seconds of a tile, when a run recorded one
+    /// (`W` checkpoint line). Old-format artifacts have none.
+    pub fn timing(&self, id: usize) -> Option<f64> {
+        self.timings.get(&id).copied()
+    }
+
+    /// Records a tile's observed compute wall seconds. Advisory: feeds
+    /// the orchestrator's autotuner warm-start, ignored by equality.
+    pub fn set_timing(&mut self, id: usize, seconds: f64) {
+        self.timings.insert(id, seconds);
     }
 
     /// Whether a tile is present.
@@ -523,17 +579,32 @@ impl TileSet {
         );
         self.tiles.insert(id, values);
         self.intervals.remove(&id);
+        self.timings.remove(&id);
     }
 
     /// [`insert`](Self::insert) with the tile's certified `[lo, hi]`
     /// envelopes (same pair order) — what the approximate tier records.
     pub fn insert_certified(&mut self, id: usize, values: Vec<f64>, intervals: Vec<(f64, f64)>) {
+        self.insert(id, values);
+        self.certify(id, intervals);
+    }
+
+    /// Attaches certified `[lo, hi]` envelopes to an already-present tile
+    /// (same pair order) — how the coordinator records an `I` result line
+    /// arriving after its `T` line.
+    ///
+    /// # Panics
+    /// If the tile is absent or the interval count mismatches the grid.
+    pub fn certify(&mut self, id: usize, intervals: Vec<(f64, f64)>) {
+        assert!(
+            self.tiles.contains_key(&id),
+            "certify requires the tile to be present"
+        );
         assert_eq!(
             intervals.len(),
             self.grid.pair_count(id),
             "tile interval count must match the grid"
         );
-        self.insert(id, values);
         self.intervals.insert(id, intervals);
     }
 
@@ -542,6 +613,7 @@ impl TileSet {
         let keep: std::collections::BTreeSet<usize> = ids.iter().copied().collect();
         self.tiles.retain(|id, _| keep.contains(id));
         self.intervals.retain(|id, _| keep.contains(id));
+        self.timings.retain(|id, _| keep.contains(id));
         self
     }
 
@@ -604,6 +676,11 @@ impl TileSet {
                     }
                 }
             }
+            // Timings are advisory measurements: first part wins, no
+            // agreement required (two runs legitimately time differently).
+            for (id, secs) in part.timings {
+                merged.timings.entry(id).or_insert(secs);
+            }
         }
         Ok(merged)
     }
@@ -633,6 +710,9 @@ impl TileSet {
             tile_line(&mut out, id, values);
             if let Some(ivs) = self.intervals.get(&id) {
                 interval_line(&mut out, id, ivs);
+            }
+            if let Some(&secs) = self.timings.get(&id) {
+                timing_line(&mut out, id, secs);
             }
         }
         std::fs::write(path, out)?;
@@ -695,6 +775,21 @@ impl TileSet {
                     _ => break,
                 }
             }
+            // A `W` line times the tile it names; like `I`, its tile must
+            // already be present. A lost trailing `W` costs nothing but a
+            // warm-start hint.
+            if complete.starts_with('W') {
+                match parse_timing_line(complete, &grid) {
+                    Some((id, secs))
+                        if set.tiles.contains_key(&id) && !set.timings.contains_key(&id) =>
+                    {
+                        set.timings.insert(id, secs);
+                        offset += line.len() as u64;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
             match parse_tile_line(complete, &grid) {
                 Some((id, values)) if !set.tiles.contains_key(&id) => {
                     set.tiles.insert(id, values);
@@ -716,7 +811,10 @@ fn header_lines(out: &mut String, grid: &TileGrid, fingerprint: u64) {
     ));
 }
 
-fn tile_line(out: &mut String, id: usize, values: &[f64]) {
+/// Appends one newline-terminated `T` line — a tile's values, hex-exact —
+/// to `out`. Public because the orchestrator wire protocol reuses the
+/// checkpoint line format verbatim as its transfer format.
+pub fn tile_line(out: &mut String, id: usize, values: &[f64]) {
     out.push_str(&format!("T {id} {}", values.len()));
     for v in values {
         out.push_str(&format!(" {:016x}", v.to_bits()));
@@ -724,7 +822,9 @@ fn tile_line(out: &mut String, id: usize, values: &[f64]) {
     out.push('\n');
 }
 
-fn interval_line(out: &mut String, id: usize, intervals: &[(f64, f64)]) {
+/// Appends one newline-terminated `I` line — a tile's certified `[lo, hi]`
+/// pairs — to `out`.
+pub fn interval_line(out: &mut String, id: usize, intervals: &[(f64, f64)]) {
     out.push_str(&format!("I {id} {}", intervals.len()));
     for (lo, hi) in intervals {
         out.push_str(&format!(" {:016x} {:016x}", lo.to_bits(), hi.to_bits()));
@@ -732,22 +832,135 @@ fn interval_line(out: &mut String, id: usize, intervals: &[(f64, f64)]) {
     out.push('\n');
 }
 
-/// Appends one finished tile (plus its certification line, when the
-/// approximate tier produced one) to a checkpoint file and flushes it.
-fn append_tile(
-    file: &mut std::fs::File,
-    id: usize,
-    values: &[f64],
-    intervals: Option<&[(f64, f64)]>,
-) -> Result<(), ShardError> {
-    let mut line = String::new();
-    tile_line(&mut line, id, values);
-    if let Some(ivs) = intervals {
-        interval_line(&mut line, id, ivs);
+/// Appends one newline-terminated `W` line — a tile's observed compute
+/// wall seconds — to `out`.
+pub fn timing_line(out: &mut String, id: usize, seconds: f64) {
+    out.push_str(&format!("W {id} {:016x}\n", seconds.to_bits()));
+}
+
+/// An append-mode handle on a checkpoint/artifact file: the durable side
+/// of a run. [`Checkpoint::open`] validates (or writes) the header,
+/// resumes completed tiles, and truncates a half-written trailing line;
+/// [`Checkpoint::append`] records one finished tile and flushes, so a
+/// kill at any moment loses at most the line being written.
+///
+/// The engine's checkpointed entry points use this internally; the
+/// orchestrator coordinator drives it directly, appending results as
+/// they arrive off the wire.
+pub struct Checkpoint {
+    file: std::fs::File,
+}
+
+impl Checkpoint {
+    /// Opens (or creates) the checkpoint at `path` for a `(grid,
+    /// fingerprint)` run: validates both against an existing file,
+    /// discards a half-written trailing line, and positions the file for
+    /// appending. Returns the resumed [`TileSet`] alongside the handle.
+    pub fn open(
+        path: &Path,
+        grid: TileGrid,
+        fingerprint: u64,
+    ) -> Result<(TileSet, Checkpoint), ShardError> {
+        let mut expected_header = String::new();
+        header_lines(&mut expected_header, &grid, fingerprint);
+        let existing = match std::fs::read_to_string(path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+            Ok(text) if text.is_empty() => None,
+            // A proper prefix of the header this run would write is the
+            // remnant of a kill during the initial header write — no tile
+            // was committed, so start fresh instead of appending tile
+            // lines onto a half-written header.
+            Ok(text) if expected_header.starts_with(&text) => None,
+            Ok(text) => {
+                let (set, clean_len) = TileSet::parse_artifact(&text, path)?;
+                if *set.grid() != grid {
+                    return Err(ShardError::Mismatch(format!(
+                        "checkpoint {} is for k={} tile={}, run wants k={} tile={}",
+                        path.display(),
+                        set.grid().states(),
+                        set.grid().tile_size(),
+                        grid.states(),
+                        grid.tile_size(),
+                    )));
+                }
+                if set.fingerprint() != fingerprint {
+                    return Err(ShardError::Mismatch(format!(
+                        "checkpoint {} was computed from a different graph, \
+                         configuration, or snapshot set \
+                         (fingerprint {:016x}, expected {fingerprint:016x})",
+                        path.display(),
+                        set.fingerprint(),
+                    )));
+                }
+                Some((set, clean_len))
+            }
+        };
+        match existing {
+            Some((set, clean_len)) => {
+                // Truncate away any half-written tail, then append.
+                let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
+                file.set_len(clean_len)?;
+                file.seek(SeekFrom::End(0))?;
+                Ok((set, Checkpoint { file }))
+            }
+            None => {
+                let mut file = std::fs::File::create(path)?;
+                file.write_all(expected_header.as_bytes())?;
+                Ok((TileSet::empty(grid, fingerprint), Checkpoint { file }))
+            }
+        }
     }
-    file.write_all(line.as_bytes())?;
-    file.flush()?;
-    Ok(())
+
+    /// Appends one finished tile (plus its certification line when the
+    /// approximate tier produced one, plus its timing line when the run
+    /// observed one) and flushes.
+    pub fn append(
+        &mut self,
+        id: usize,
+        values: &[f64],
+        intervals: Option<&[(f64, f64)]>,
+        seconds: Option<f64>,
+    ) -> Result<(), ShardError> {
+        let mut line = String::new();
+        tile_line(&mut line, id, values);
+        if let Some(ivs) = intervals {
+            interval_line(&mut line, id, ivs);
+        }
+        if let Some(secs) = seconds {
+            timing_line(&mut line, id, secs);
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Appends a tile's `I` certification line on its own — the
+    /// orchestrated path, where a tile's interval line arrives after its
+    /// value line. The caller must have appended the tile's `T` line
+    /// earlier (and at most one `I` line per tile), matching what the
+    /// loader accepts.
+    pub fn append_intervals(
+        &mut self,
+        id: usize,
+        intervals: &[(f64, f64)],
+    ) -> Result<(), ShardError> {
+        let mut line = String::new();
+        interval_line(&mut line, id, intervals);
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Appends a tile's `W` timing line on its own (same contract as
+    /// [`append_intervals`](Self::append_intervals)).
+    pub fn append_timing(&mut self, id: usize, seconds: f64) -> Result<(), ShardError> {
+        let mut line = String::new();
+        timing_line(&mut line, id, seconds);
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
 }
 
 fn parse_header(line: &str) -> Option<(TileGrid, u64)> {
@@ -770,7 +983,10 @@ fn parse_header(line: &str) -> Option<(TileGrid, u64)> {
     Some((TileGrid::new(k, tile), fingerprint))
 }
 
-fn parse_tile_line(line: &str, grid: &TileGrid) -> Option<(usize, Vec<f64>)> {
+/// Parses one `T` line against `grid` (ID range and pair count must
+/// match). `None` on any malformation — callers treat that as a truncated
+/// checkpoint tail or a protocol violation, never a panic.
+pub fn parse_tile_line(line: &str, grid: &TileGrid) -> Option<(usize, Vec<f64>)> {
     let mut t = line.split_ascii_whitespace();
     if t.next()? != "T" {
         return None;
@@ -793,7 +1009,8 @@ fn parse_tile_line(line: &str, grid: &TileGrid) -> Option<(usize, Vec<f64>)> {
     Some((id, values))
 }
 
-fn parse_interval_line(line: &str, grid: &TileGrid) -> Option<(usize, Vec<(f64, f64)>)> {
+/// Parses one `I` line against `grid`. `None` on any malformation.
+pub fn parse_interval_line(line: &str, grid: &TileGrid) -> Option<(usize, Vec<(f64, f64)>)> {
     let mut t = line.split_ascii_whitespace();
     if t.next()? != "I" {
         return None;
@@ -816,6 +1033,25 @@ fn parse_interval_line(line: &str, grid: &TileGrid) -> Option<(usize, Vec<(f64, 
         return None;
     }
     Some((id, intervals))
+}
+
+/// Parses one `W` line against `grid` (ID must be in range and the
+/// seconds finite and non-negative — a corrupt timing must not poison the
+/// autotuner's cost model). `None` on any malformation.
+pub fn parse_timing_line(line: &str, grid: &TileGrid) -> Option<(usize, f64)> {
+    let mut t = line.split_ascii_whitespace();
+    if t.next()? != "W" {
+        return None;
+    }
+    let id: usize = t.next()?.parse().ok()?;
+    if id >= grid.tile_count() {
+        return None;
+    }
+    let secs = f64::from_bits(u64::from_str_radix(t.next()?, 16).ok()?);
+    if t.next().is_some() || !secs.is_finite() || secs < 0.0 {
+        return None;
+    }
+    Some((id, secs))
 }
 
 /// Folds a tile's per-term `[lo, hi]` envelopes (four per pair, in
@@ -887,10 +1123,28 @@ impl<'g> SndEngine<'g> {
     /// [`pairwise_distances_seq`](Self::pairwise_distances_seq).
     pub fn pairwise_tiles(&self, states: &[NetworkState], plan: &ShardPlan) -> TileSet {
         let mut set = TileSet::empty(*plan.grid(), self.shard_fingerprint(states));
-        self.compute_plan_tiles(states, plan, &mut set, &mut |_, _, _| Ok(()))
+        self.compute_plan_tiles(states, plan, &mut set, &mut |_, _, _, _| Ok(()))
             // lint:allow(no-unwrap) the no-op sink closure is the only error source and always returns Ok
             .expect("in-memory tile computation performs no IO");
         set
+    }
+
+    /// [`pairwise_tiles`](Self::pairwise_tiles) with a per-tile hook:
+    /// `on_tile` sees each finished tile (ID, values, optional certified
+    /// intervals, compute wall seconds) *before* it is recorded in the
+    /// returned set, in ascending tile-ID order. This is the streaming
+    /// entry point — an orchestrated worker serializes each tile onto its
+    /// socket from here, overlapping the send with the next tile's
+    /// compute. An error from the hook aborts the run.
+    pub fn pairwise_tiles_with(
+        &self,
+        states: &[NetworkState],
+        plan: &ShardPlan,
+        on_tile: &mut OnTile<'_>,
+    ) -> Result<TileSet, ShardError> {
+        let mut set = TileSet::empty(*plan.grid(), self.shard_fingerprint(states));
+        self.compute_plan_tiles(states, plan, &mut set, on_tile)?;
+        Ok(set)
     }
 
     /// [`pairwise_tiles`](Self::pairwise_tiles) with checkpointing: tiles
@@ -919,83 +1173,25 @@ impl<'g> SndEngine<'g> {
         path: &Path,
         compute: TileCompute<'g>,
     ) -> Result<ShardRun, ShardError> {
-        let (mut set, mut file) = self.open_checkpoint(states, plan.grid(), path)?;
+        let (mut set, mut ckpt) =
+            Checkpoint::open(path, *plan.grid(), self.shard_fingerprint(states))?;
         let resumed = plan
             .tile_ids()
             .iter()
             .filter(|id| set.contains(**id))
             .count();
-        compute(self, states, plan, &mut set, &mut |id, values, ivs| {
-            append_tile(&mut file, id, values, ivs)
-        })?;
+        compute(
+            self,
+            states,
+            plan,
+            &mut set,
+            &mut |id, values, ivs, secs| ckpt.append(id, values, ivs, Some(secs)),
+        )?;
         Ok(ShardRun {
             tiles: set.restrict(plan.tile_ids()),
             resumed,
             computed: plan.tile_ids().len() - resumed,
         })
-    }
-
-    /// Opens (or creates) a checkpoint for this `(states, grid)` run:
-    /// validates the grid and fingerprint, discards a half-written
-    /// trailing line, and returns the resumed set plus the file
-    /// positioned for appending.
-    fn open_checkpoint(
-        &self,
-        states: &[NetworkState],
-        grid: &TileGrid,
-        path: &Path,
-    ) -> Result<(TileSet, std::fs::File), ShardError> {
-        let grid = *grid;
-        let fingerprint = self.shard_fingerprint(states);
-        let mut expected_header = String::new();
-        header_lines(&mut expected_header, &grid, fingerprint);
-        let existing = match std::fs::read_to_string(path) {
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-            Err(e) => return Err(e.into()),
-            Ok(text) if text.is_empty() => None,
-            // A proper prefix of the header this run would write is the
-            // remnant of a kill during the initial header write — no tile
-            // was committed, so start fresh instead of appending tile
-            // lines onto a half-written header.
-            Ok(text) if expected_header.starts_with(&text) => None,
-            Ok(text) => {
-                let (set, clean_len) = TileSet::parse_artifact(&text, path)?;
-                if *set.grid() != grid {
-                    return Err(ShardError::Mismatch(format!(
-                        "checkpoint {} is for k={} tile={}, run wants k={} tile={}",
-                        path.display(),
-                        set.grid().states(),
-                        set.grid().tile_size(),
-                        grid.states(),
-                        grid.tile_size(),
-                    )));
-                }
-                if set.fingerprint() != fingerprint {
-                    return Err(ShardError::Mismatch(format!(
-                        "checkpoint {} was computed from a different graph, \
-                         configuration, or snapshot set \
-                         (fingerprint {:016x}, expected {fingerprint:016x})",
-                        path.display(),
-                        set.fingerprint(),
-                    )));
-                }
-                Some((set, clean_len))
-            }
-        };
-        match existing {
-            Some((set, clean_len)) => {
-                // Truncate away any half-written tail, then append.
-                let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
-                file.set_len(clean_len)?;
-                file.seek(SeekFrom::End(0))?;
-                Ok((set, file))
-            }
-            None => {
-                let mut file = std::fs::File::create(path)?;
-                file.write_all(expected_header.as_bytes())?;
-                Ok((TileSet::empty(grid, fingerprint), file))
-            }
-        }
     }
 
     /// Computes the plan's tiles missing from `set`, invoking `on_tile`
@@ -1044,6 +1240,11 @@ impl<'g> SndEngine<'g> {
         }
 
         let mut geoms: Vec<Option<StateGeometry>> = (0..states.len()).map(|_| None).collect();
+        // Per-tile wall clock for the `W` checkpoint lines: geometry
+        // materialization counts against the tile that triggered it —
+        // that is the true cost of scheduling the tile, which is what an
+        // autotuner planning leases needs.
+        let mut mark = std::time::Instant::now();
         for (pos, (&id, touched)) in todo.iter().zip(&tile_states).enumerate() {
             let needed: Vec<usize> = touched
                 .iter()
@@ -1077,16 +1278,19 @@ impl<'g> SndEngine<'g> {
                 .collect();
             let (values, intervals) = fold_tile_terms(&terms, certified);
 
-            on_tile(id, &values, intervals.as_deref())?;
+            let secs = mark.elapsed().as_secs_f64();
+            on_tile(id, &values, intervals.as_deref(), secs)?;
             match intervals {
                 Some(ivs) => set.insert_certified(id, values, ivs),
                 None => set.insert(id, values),
             }
+            set.set_timing(id, secs);
             for &s in touched {
                 if last_use[s] == pos {
                     geoms[s] = None;
                 }
             }
+            mark = std::time::Instant::now();
         }
         Ok(())
     }
@@ -1165,6 +1369,7 @@ impl<'g> SndEngine<'g> {
         // blocks (resumed tiles) is cheaper to cross with a fresh build.
         let mut chain: Option<(usize, DeltaStateGeometry)> = None;
         let mut geoms: Vec<Option<StateGeometry>> = (0..states.len()).map(|_| None).collect();
+        let mut mark = std::time::Instant::now();
         for (pos, (&id, touched)) in todo.iter().zip(&tile_states).enumerate() {
             for &s in touched {
                 if geoms[s].is_some() {
@@ -1211,16 +1416,19 @@ impl<'g> SndEngine<'g> {
                 .collect();
             let (values, intervals) = fold_tile_terms(&terms, certified);
 
-            on_tile(id, &values, intervals.as_deref())?;
+            let secs = mark.elapsed().as_secs_f64();
+            on_tile(id, &values, intervals.as_deref(), secs)?;
             match intervals {
                 Some(ivs) => set.insert_certified(id, values, ivs),
                 None => set.insert(id, values),
             }
+            set.set_timing(id, secs);
             for &s in touched {
                 if last_use[s] == pos {
                     geoms[s] = None;
                 }
             }
+            mark = std::time::Instant::now();
         }
         Ok(())
     }
@@ -1508,12 +1716,13 @@ mod tests {
             std::env::temp_dir().join(format!("snd_shard_old_format_{}.ckpt", std::process::id()));
         new_set.save(&path).unwrap();
 
-        // Strip the `I` lines: exactly what a pre-interval artifact holds.
+        // Strip the `I` and `W` lines: exactly what a pre-interval,
+        // pre-timing artifact holds.
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.lines().any(|l| l.starts_with("I ")));
         let old: String = text
             .lines()
-            .filter(|l| !l.starts_with("I "))
+            .filter(|l| !l.starts_with("I ") && !l.starts_with("W "))
             .flat_map(|l| [l, "\n"])
             .collect();
         std::fs::write(&path, old).unwrap();
@@ -1560,15 +1769,169 @@ mod tests {
             std::process::id()
         ));
         set.save(&path).unwrap();
-        // Kill mid-append: the last `I` line loses its trailing newline.
+
+        // Kill mid-append of the trailing `W` line: the tile and its
+        // certification survive, only the timing hint is lost.
         let text = std::fs::read_to_string(&path).unwrap();
         let cut = text.strip_suffix('\n').unwrap();
+        assert!(cut.lines().last().unwrap().starts_with("W "));
+        std::fs::write(&path, cut).unwrap();
+        let loaded = TileSet::load(&path).unwrap();
+        assert_eq!(loaded.tiles, set.tiles);
+        assert_eq!(loaded.intervals.len(), set.intervals.len());
+        assert_eq!(loaded.timings.len(), set.timings.len() - 1);
+
+        // Kill mid-append of an `I` line (no `W` lines written, as under
+        // a pre-timing writer): the tile survives uncertified.
+        let no_w: String = text
+            .lines()
+            .filter(|l| !l.starts_with("W "))
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        let cut = no_w.strip_suffix('\n').unwrap();
         assert!(cut.lines().last().unwrap().starts_with("I "));
         std::fs::write(&path, cut).unwrap();
         let loaded = TileSet::load(&path).unwrap();
         // Every tile survives; only the interrupted certification is lost.
         assert_eq!(loaded.tiles, set.tiles);
         assert_eq!(loaded.intervals.len(), set.intervals.len() - 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn timing_lines_roundtrip_and_stay_out_of_identity() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states(5);
+        let grid = TileGrid::new(5, 2);
+        let path =
+            std::env::temp_dir().join(format!("snd_shard_timings_{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let run = engine
+            .pairwise_tiles_checkpointed(&s, &ShardPlan::full(grid), &path)
+            .unwrap();
+        // Every computed tile was timed, and the `W` lines round-trip
+        // bit-exactly through the checkpoint.
+        let loaded = TileSet::load(&path).unwrap();
+        for id in 0..grid.tile_count() {
+            let recorded = run.tiles.timing(id).expect("computed tiles are timed");
+            assert!(recorded >= 0.0);
+            assert_eq!(
+                loaded.timing(id).map(f64::to_bits),
+                Some(recorded.to_bits()),
+                "tile {id}"
+            );
+        }
+        // Timings are advisory: equality ignores them entirely...
+        let mut retimed = loaded.clone();
+        retimed.set_timing(0, 123.456);
+        assert_eq!(retimed, loaded);
+        // ...and merge keeps the first part's measurement.
+        let merged = TileSet::merge([retimed.clone(), loaded.clone()]).unwrap();
+        assert_eq!(merged.timing(0), Some(123.456));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_handle_matches_engine_runs_and_rejects_mismatches() {
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, SndConfig::default());
+        let s = states(4);
+        let grid = TileGrid::new(4, 2);
+        let fp = engine.shard_fingerprint(&s);
+        let path =
+            std::env::temp_dir().join(format!("snd_shard_handle_{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // Drive the public handle directly, the way the orchestrator's
+        // coordinator does: append tiles as they arrive off the wire.
+        let full = engine.pairwise_tiles(&s, &ShardPlan::full(grid));
+        {
+            let (resumed, mut ckpt) = Checkpoint::open(&path, grid, fp).unwrap();
+            assert_eq!(resumed.tile_count(), 0);
+            for id in 0..grid.tile_count() {
+                let values: Vec<f64> = grid
+                    .pairs(id)
+                    .iter()
+                    .map(|&(i, j)| full.pair(i, j).unwrap())
+                    .collect();
+                ckpt.append(id, &values, None, Some(0.25)).unwrap();
+            }
+        }
+        // The file resumes complete and matches the engine's own artifact.
+        let (resumed, _ckpt) = Checkpoint::open(&path, grid, fp).unwrap();
+        assert_eq!(resumed, full);
+        assert_eq!(resumed.timing(0), Some(0.25));
+        // A different fingerprint or grid refuses to open.
+        assert!(matches!(
+            Checkpoint::open(&path, grid, fp ^ 1),
+            Err(ShardError::Mismatch(_))
+        ));
+        assert!(matches!(
+            Checkpoint::open(&path, TileGrid::new(4, 3), fp),
+            Err(ShardError::Mismatch(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mixed_format_merge_downgrades_explicitly_and_recertifies() {
+        // Satellite: a PR 9 interval-bearing part merged with an old
+        // midpoint-only part covering *different* tiles. The merge
+        // succeeds, but certification is explicitly partial — pairs from
+        // the old part report no interval — and re-certifying the stale
+        // part restores full certification.
+        let g = path_graph(8);
+        let engine = SndEngine::new(&g, approx_engine_config());
+        let s = states(6);
+        let grid = TileGrid::new(6, 2);
+        let certified_part =
+            engine.pairwise_tiles(&s, &ShardPlan::round_robin(grid, 0, 2).unwrap());
+        let fresh_part = engine.pairwise_tiles(&s, &ShardPlan::round_robin(grid, 1, 2).unwrap());
+
+        // Age part 1 into the midpoint-only format via a save/strip/load
+        // round-trip (exactly what a pre-interval file holds).
+        let path =
+            std::env::temp_dir().join(format!("snd_shard_mixed_fmt_{}.ckpt", std::process::id()));
+        fresh_part.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let old: String = text
+            .lines()
+            .filter(|l| !l.starts_with("I ") && !l.starts_with("W "))
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        std::fs::write(&path, old).unwrap();
+        let old_part = TileSet::load(&path).unwrap();
+
+        let merged = TileSet::merge([certified_part.clone(), old_part]).unwrap();
+        // The matrix is whole and bit-identical to the sequential
+        // reference — midpoints are unaffected by lost certification.
+        assert_eq!(
+            merged.to_matrix().unwrap(),
+            engine.pairwise_distances_seq(&s)
+        );
+        // The downgrade is explicit and queryable, not silent: exactly
+        // the certified part's tiles certify, and every pair of an
+        // old-format tile reports `None`.
+        assert!(merged.certified_tile_count() < merged.tile_count());
+        assert_eq!(
+            merged.certified_tile_count(),
+            certified_part.certified_tile_count()
+        );
+        for id in 0..grid.tile_count() {
+            let from_old = fresh_part.contains(id) && id % 2 == 1;
+            for (i, j) in grid.pairs(id) {
+                assert_eq!(
+                    merged.pair_interval(i, j).is_none(),
+                    from_old,
+                    "pair ({i},{j}) of tile {id}"
+                );
+            }
+        }
+        // Re-certifying the stale tiles (a fresh interval-bearing run of
+        // the same plan) restores full certification.
+        let recertified = TileSet::merge([merged, fresh_part]).unwrap();
+        assert_eq!(recertified.certified_tile_count(), recertified.tile_count());
         std::fs::remove_file(&path).unwrap();
     }
 

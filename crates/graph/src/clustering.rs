@@ -236,13 +236,17 @@ mod tests {
     fn quotient_graph_connects_adjacent_clusters_only() {
         // Path 0-1-2-3-4-5 split as [0,1] [2,3] [4,5]: the quotient is the
         // 3-node path, with no self-loops and no duplicate edges.
+        // `path_graph` stores both directed arcs per undirected edge, and
+        // the quotient preserves directions, so the 3-node path carries 4
+        // arcs.
         let g = path_graph(6);
         let c = Clustering::from_labels(&[0, 0, 1, 1, 2, 2]);
         let q = quotient_graph(&g, &c);
         assert_eq!(q.node_count(), 3);
-        assert_eq!(q.edge_count(), 2);
+        assert_eq!(q.edge_count(), 4);
         assert_eq!(q.out_neighbors(0), &[1]);
-        assert_eq!(q.out_neighbors(1), &[2]);
+        assert_eq!(q.out_neighbors(1), &[0, 2]);
+        assert_eq!(q.out_neighbors(2), &[1]);
         // Coarsening the quotient composes into a nested partition.
         let coarse = bfs_partition(&q, 2);
         let composed: Vec<u32> = c

@@ -21,14 +21,17 @@ pub const SAFETY_COMMENT: &str = "safety-comment";
 /// Crates whose library code forbids `unwrap()`/`expect()` (L4): the
 /// load-bearing numeric core plus the analysis layer (its prediction and
 /// intervention entry points run on user-supplied CLI inputs, so
-/// degenerate data must surface as `AnalysisError`, not panics). CLI,
-/// benches, and tests stay exempt.
-const NO_UNWRAP_CRATES: [&str; 5] = [
+/// degenerate data must surface as `AnalysisError`, not panics) and the
+/// orchestration layer (it parses wire bytes from arbitrary peers, so a
+/// malformed line must come back as `OrchestrateError`, never a panic).
+/// CLI, benches, and tests stay exempt.
+const NO_UNWRAP_CRATES: [&str; 6] = [
     "snd-core",
     "snd-graph",
     "snd-transport",
     "snd-emd",
     "snd-analysis",
+    "snd-orchestrate",
 ];
 
 /// Crates whose mass-and-cost arithmetic is covered by L5.

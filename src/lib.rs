@@ -17,6 +17,8 @@
 //! * [`core`] — the [`SndEngine`](core::SndEngine) itself;
 //! * [`baselines`] — competitor distances and predictors;
 //! * [`analysis`] — anomaly detection, ROC, prediction harness;
+//! * [`orchestrate`] — distributed tile leasing: coordinator, workers,
+//!   wire protocol, lease autotuner;
 //! * [`data`] — synthetic and simulated-Twitter workload generators.
 //!
 //! ## Quickstart
@@ -125,6 +127,16 @@
 //! line, and [`analysis::resume`] offers checkpoint-backed
 //! pairwise/series entry points.
 //!
+//! For multi-process runs, [`orchestrate`] turns the same tile grid into
+//! a coordinator/worker system: `snd orchestrate` owns the grid and
+//! hands out tile *leases* over TCP or Unix sockets, `snd work`
+//! processes compute leased tiles and stream back verbatim checkpoint
+//! lines, expired leases are re-dispatched (first result wins), and
+//! per-tile `W` timings drive a measurement-based lease autotuner. The
+//! merged matrix stays bit-identical to the sequential loop regardless
+//! of worker count or failure timing (`BENCH_orchestrate.json` records
+//! the worker-count curve and streaming-overlap ablation).
+//!
 //! ## Threading model
 //!
 //! [`SndEngine`](core::SndEngine) is immutable after construction and
@@ -153,4 +165,5 @@ pub use snd_data as data;
 pub use snd_emd as emd;
 pub use snd_graph as graph;
 pub use snd_models as models;
+pub use snd_orchestrate as orchestrate;
 pub use snd_transport as transport;
